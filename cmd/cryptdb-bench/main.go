@@ -1,0 +1,75 @@
+// Command cryptdb-bench regenerates every table and figure of the paper's
+// evaluation (§8) against this reproduction:
+//
+//	cryptdb-bench -fig 7        trace schema statistics
+//	cryptdb-bench -fig 8        annotation / code-change effort
+//	cryptdb-bench -fig 9        steady-state onion levels (security analysis)
+//	cryptdb-bench -fig 10       TPC-C throughput vs server cores
+//	cryptdb-bench -fig 11       per-query-class throughput vs strawman
+//	cryptdb-bench -fig 12       server/proxy latency, with and without precompute
+//	cryptdb-bench -fig 13       cryptographic scheme microbenchmarks
+//	cryptdb-bench -fig 14       phpBB-style throughput (3 configurations)
+//	cryptdb-bench -fig 15       phpBB-style per-request latency
+//	cryptdb-bench -fig storage  ciphertext storage expansion (§8.4.3)
+//	cryptdb-bench -fig adjust   onion-layer removal throughput (§8.4.4)
+//	cryptdb-bench -fig ablation design-choice ablations (OPE cache, HOM pool, indexes)
+//	cryptdb-bench -fig all      everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+var figures = map[string]func() error{
+	"7":        fig7,
+	"8":        fig8,
+	"9":        fig9,
+	"10":       fig10,
+	"11":       fig11,
+	"12":       fig12,
+	"13":       fig13,
+	"14":       fig14,
+	"15":       fig15,
+	"storage":  figStorage,
+	"adjust":   figAdjust,
+	"ablation": figAblation,
+}
+
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation"}
+
+func main() {
+	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, all)")
+	flag.Parse()
+
+	if *fig == "all" {
+		for _, f := range order {
+			header(f)
+			if err := figures[f](); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := figures[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	header(*fig)
+	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "figure %s: %v\n", *fig, err)
+		os.Exit(1)
+	}
+}
+
+func header(fig string) {
+	fmt.Printf("==== Figure/Table %s ", fig)
+	for i := len(fig); i < 60; i++ {
+		fmt.Print("=")
+	}
+	fmt.Println()
+}

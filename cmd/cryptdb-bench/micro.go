@@ -1,0 +1,267 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/crypto/feistel"
+	"repro/internal/crypto/hom"
+	"repro/internal/crypto/joinadj"
+	"repro/internal/crypto/ope"
+	"repro/internal/crypto/rnd"
+	"repro/internal/crypto/search"
+	"repro/internal/proxy"
+	"repro/internal/sqldb"
+	"repro/internal/strawman"
+)
+
+// timeOp measures the average latency of fn over n runs.
+func timeOp(n int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// fig13 reproduces the cryptographic microbenchmarks (Figure 13).
+func fig13() error {
+	fmt.Println("crypto scheme microbenchmarks (Figure 13); paper values on the right")
+	fmt.Printf("%-22s %12s %12s %14s   %s\n", "scheme", "encrypt", "decrypt", "special op", "paper (enc/dec/op)")
+
+	key := []byte("bench-key")
+
+	// 64-bit integer PRP (the paper's Blowfish slot).
+	fc := feistel.New(key)
+	encPRP, _ := timeOp(200000, func() error { fc.Encrypt(12345); return nil })
+	decPRP, _ := timeOp(200000, func() error { fc.Decrypt(12345); return nil })
+	fmt.Printf("%-22s %12v %12v %14s   %s\n", "64-bit PRP (1 int)", encPRP, decPRP, "-", "0.0001 / 0.0001 ms (Blowfish)")
+
+	// AES-CBC over 1 KB (RND).
+	buf := make([]byte, 1024)
+	iv, err := rnd.NewIV()
+	if err != nil {
+		return err
+	}
+	var ct []byte
+	encCBC, _ := timeOp(20000, func() error {
+		var err error
+		ct, err = rnd.Bytes(key, iv, buf)
+		return err
+	})
+	decCBC, _ := timeOp(20000, func() error {
+		_, err := rnd.DecryptBytes(key, iv, ct)
+		return err
+	})
+	fmt.Printf("%-22s %12v %12v %14s   %s\n", "AES-CBC (1 KB)", encCBC, decCBC, "-", "0.008 / 0.007 ms")
+
+	// OPE over one 32-bit integer, fresh values (cold cache) to match
+	// the paper's per-encryption cost.
+	opeC := ope.New(key)
+	var i uint64
+	encOPE, _ := timeOp(300, func() error {
+		i += 7919
+		_, err := opeC.Encrypt(i % (1 << 32))
+		return err
+	})
+	var last uint64
+	last, _ = opeC.Encrypt(999)
+	decOPE, _ := timeOp(300, func() error {
+		_, err := opeC.Decrypt(last)
+		return err
+	})
+	fmt.Printf("%-22s %12v %12v %14s   %s\n", "OPE (1 int)", encOPE, decOPE, "compare: 0", "9.0 / 9.0 ms, compare 0")
+
+	// SEARCH over one word.
+	sc := search.New(key)
+	var blob []byte
+	encS, _ := timeOp(20000, func() error {
+		var err error
+		blob, err = sc.EncryptText("confidential")
+		return err
+	})
+	tok := sc.TokenFor("confidential")
+	matchS, _ := timeOp(20000, func() error { search.Match(blob, tok); return nil })
+	fmt.Printf("%-22s %12v %12s %14s   %s\n", "SEARCH (1 word)", encS, "-", fmt.Sprintf("match: %v", matchS), "0.01 / 0.004 ms, match 0.001")
+
+	// HOM (Paillier, 1024-bit n -> 2048-bit ciphertexts).
+	hk, err := hom.GenerateKey(hom.DefaultBits)
+	if err != nil {
+		return err
+	}
+	encHOMCold, _ := timeOp(20, func() error {
+		_, err := hk.EncryptInt64(42)
+		return err
+	})
+	if err := hk.Precompute(120); err != nil {
+		return err
+	}
+	encHOMWarm, _ := timeOp(100, func() error {
+		_, err := hk.EncryptInt64(42)
+		return err
+	})
+	c1, _ := hk.EncryptInt64(1)
+	c2, _ := hk.EncryptInt64(2)
+	decHOM, _ := timeOp(200, func() error {
+		_, err := hk.DecryptInt64(c1)
+		return err
+	})
+	addHOM, _ := timeOp(5000, func() error { hk.Add(c1, c2); return nil })
+	fmt.Printf("%-22s %12v %12v %14s   %s\n", "HOM (1 int)", encHOMCold, decHOM,
+		fmt.Sprintf("add: %v", addHOM), "9.7 / 0.7 ms, add 0.005")
+	fmt.Printf("%-22s %12v %12s %14s   %s\n", "HOM (pooled r^n)", encHOMWarm, "-", "-", "(§3.5.2 precompute path)")
+
+	// JOIN-ADJ.
+	jk := joinadj.DeriveKey([]byte("col-a"))
+	jk2 := joinadj.DeriveKey([]byte("col-b"))
+	k0 := []byte("k0")
+	var jv []byte
+	encJ, _ := timeOp(2000, func() error { jv = jk.Compute(k0, []byte("val")); return nil })
+	delta, err := jk2.Delta(jk)
+	if err != nil {
+		return err
+	}
+	adjJ, _ := timeOp(2000, func() error {
+		_, err := joinadj.Adjust(jv, delta)
+		return err
+	})
+	fmt.Printf("%-22s %12v %12s %14s   %s\n", "JOIN-ADJ (1 int)", encJ, "-",
+		fmt.Sprintf("adjust: %v", adjJ), "0.52 ms, adjust 0.56")
+	return nil
+}
+
+// figAblation quantifies the paper's design-choice optimizations.
+func figAblation() error {
+	fmt.Println("ablations of the paper's design choices")
+
+	// 1. OPE node caching (§3.1: 25 ms -> 7 ms in the paper's terms).
+	key := []byte("ablation")
+	cached := ope.New(key)
+	uncached := ope.New(key)
+	uncached.DisableCache()
+	vals := make([]uint64, 60)
+	for i := range vals {
+		vals[i] = uint64(i)*104729 + 17
+	}
+	warm, _ := cached.Encrypt(1) // prime shared prefixes
+	_ = warm
+	tCached, err := timeOp(len(vals), func() error {
+		v := vals[0]
+		vals = append(vals[1:], v)
+		_, err := cached.Encrypt(v)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	vals2 := make([]uint64, 30)
+	for i := range vals2 {
+		vals2[i] = uint64(i)*104729 + 17
+	}
+	tUncached, err := timeOp(len(vals2), func() error {
+		v := vals2[0]
+		vals2 = append(vals2[1:], v)
+		_, err := uncached.Encrypt(v)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("OPE encryption:       with tree cache %8v   without %8v   (%.1fx)\n",
+		tCached, tUncached, float64(tUncached)/float64(tCached))
+	fmt.Println("  paper: batch-tree optimization cut OPE from 25 ms to 7 ms per value")
+
+	// 2. HOM r^n precompute (§3.5.2).
+	hk, err := hom.GenerateKey(hom.DefaultBits)
+	if err != nil {
+		return err
+	}
+	tCold, _ := timeOp(15, func() error {
+		_, err := hk.EncryptInt64(7)
+		return err
+	})
+	if err := hk.Precompute(80); err != nil {
+		return err
+	}
+	tWarm, _ := timeOp(60, func() error {
+		_, err := hk.EncryptInt64(7)
+		return err
+	})
+	fmt.Printf("HOM encryption:       with r^n pool   %8v   without %8v   (%.0fx)\n",
+		tWarm, tCold, float64(tCold)/float64(tWarm))
+
+	// 3. DET-indexed equality vs strawman full scan — why Figure 11's
+	// strawman loses on every lookup class.
+	db := sqldb.New()
+	p, err := proxy.New(db, proxy.Options{HOMBits: 512})
+	if err != nil {
+		return err
+	}
+	if _, err := p.Execute("CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)"); err != nil {
+		return err
+	}
+	if _, err := p.Execute("CREATE INDEX kvk ON kv (k)"); err != nil {
+		return err
+	}
+	const rows = 3000
+	for i := 0; i < rows; i++ {
+		if _, err := p.Execute("INSERT INTO kv (k, v) VALUES (?, ?)",
+			sqldb.Int(int64(i)), sqldb.Text("value")); err != nil {
+			return err
+		}
+	}
+	if _, err := p.Execute("SELECT v FROM kv WHERE k = ?", sqldb.Int(1)); err != nil {
+		return err
+	}
+	tIndexed, err := timeOp(500, func() error {
+		_, err := p.Execute("SELECT v FROM kv WHERE k = ?", sqldb.Int(1234))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	smDB := sqldb.New()
+	sm, err := newStrawmanKV(smDB, rows)
+	if err != nil {
+		return err
+	}
+	tScan, err := timeOp(20, func() error {
+		_, err := sm.Execute("SELECT v FROM kv WHERE k = ?", sqldb.Int(1234))
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("equality lookup:      DET index       %8v   strawman scan %8v  (%.0fx)\n",
+		tIndexed, tScan, float64(tScan)/float64(tIndexed))
+	fmt.Printf("  (%d rows; the strawman UDF-decrypts every row on every lookup)\n", rows)
+	return nil
+}
+
+// newStrawmanKV builds the strawman side of the index ablation.
+func newStrawmanKV(db *sqldb.DB, rows int) (workloadExecutor, error) {
+	sm, err := strawman.New(db)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sm.Execute("CREATE TABLE kv (k INT, v TEXT)"); err != nil {
+		return nil, err
+	}
+	if _, err := sm.Execute("CREATE INDEX kvk ON kv (k)"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := sm.Execute("INSERT INTO kv (k, v) VALUES (?, ?)",
+			sqldb.Int(int64(i)), sqldb.Text("value")); err != nil {
+			return nil, err
+		}
+	}
+	return sm, nil
+}
+
+type workloadExecutor interface {
+	Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error)
+}

@@ -1,0 +1,103 @@
+// Command cryptdb-server exposes the CryptDB proxy over TCP with a simple
+// line protocol, playing the role of the proxy server machine in Figure 1:
+// applications connect and speak SQL; the embedded DBMS behind the proxy
+// only ever sees ciphertext.
+//
+// Protocol: one SQL statement per line. Responses:
+//
+//	OK <n>              for writes (n rows affected)
+//	ROW <tab-separated> for each result row, then OK <n>
+//	ERR <message>       on error
+//
+// Usage:
+//
+//	cryptdb-server [-addr :7432] [-multi]
+//
+// With -multi the server runs in multi-principal mode: PRINCTYPE / ENC FOR /
+// SPEAKS FOR annotations are honored and cryptdb_active logins intercepted.
+//
+// Try it:
+//
+//	printf 'CREATE TABLE t (a INT, b TEXT)\nINSERT INTO t (a, b) VALUES (1, %s)\nSELECT * FROM t\n' "'x'" | nc localhost 7432
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"repro/internal/mp"
+	"repro/internal/proxy"
+	"repro/internal/sqldb"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":7432", "listen address")
+	multi := flag.Bool("multi", false, "enable multi-principal mode (§4)")
+	flag.Parse()
+
+	db := sqldb.New()
+	p, err := proxy.New(db, proxy.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ex workload.Executor = p
+	if *multi {
+		ex = mp.New(p, mp.Options{})
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cryptdb-server listening on %s (multi-principal: %v)", *addr, *multi)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go serve(conn, ex)
+	}
+}
+
+func serve(conn net.Conn, ex workload.Executor) {
+	defer conn.Close()
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(conn)
+	defer out.Flush()
+
+	for in.Scan() {
+		sql := strings.TrimSpace(in.Text())
+		if sql == "" {
+			continue
+		}
+		if strings.EqualFold(sql, "quit") {
+			return
+		}
+		res, err := ex.Execute(sql)
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			out.Flush()
+			continue
+		}
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Fprintf(out, "ROW %s\n", strings.Join(parts, "\t"))
+		}
+		n := res.Affected
+		if len(res.Rows) > 0 {
+			n = len(res.Rows)
+		}
+		fmt.Fprintf(out, "OK %d\n", n)
+		out.Flush()
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/proxy"
+	"repro/internal/sqldb"
+)
+
+// TestServeEndToEnd drives the line protocol over a real TCP connection.
+func TestServeEndToEnd(t *testing.T) {
+	db := sqldb.New()
+	p, err := proxy.New(db, proxy.Options{HOMBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serve(conn, p)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(sql string) []string {
+		if _, err := fmt.Fprintf(conn, "%s\n", sql); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			line = strings.TrimSpace(line)
+			lines = append(lines, line)
+			if strings.HasPrefix(line, "OK") || strings.HasPrefix(line, "ERR") {
+				return lines
+			}
+		}
+	}
+
+	if got := send("CREATE TABLE t (a INT, b TEXT)"); got[0] != "OK 0" {
+		t.Fatalf("create: %v", got)
+	}
+	if got := send("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"); got[0] != "OK 1" && got[0] != "OK 2" {
+		t.Fatalf("insert: %v", got)
+	}
+	got := send("SELECT a, b FROM t WHERE b = 'y'")
+	if len(got) != 2 || got[0] != "ROW 2\ty" || got[1] != "OK 1" {
+		t.Fatalf("select: %v", got)
+	}
+	if got := send("SELECT broken FROM nosuch"); !strings.HasPrefix(got[0], "ERR") {
+		t.Fatalf("error path: %v", got)
+	}
+	// The server's DBMS never sees plaintext.
+	for _, tn := range db.TableNames() {
+		res, err := db.ExecSQL("SELECT * FROM " + tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			for _, v := range row {
+				if v.Kind == sqldb.KindText && (v.S == "x" || v.S == "y") {
+					t.Fatalf("plaintext at server: %v", v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/workload/trace"
+)
+
+func TestAnalyzePaperApps(t *testing.T) {
+	for _, prof := range trace.PaperProfiles() {
+		app := trace.Generate(prof, 42)
+		row, err := AnalyzeApp(app)
+		if err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		if row.NeedsPlain != prof.Plain {
+			t.Errorf("%s: needs-plaintext = %d, want %d", prof.Name, row.NeedsPlain, prof.Plain)
+		}
+		if row.NeedsHOM != prof.Hom {
+			t.Errorf("%s: needs-HOM = %d, want %d", prof.Name, row.NeedsHOM, prof.Hom)
+		}
+		if row.NeedsSEARCH != prof.Search {
+			t.Errorf("%s: needs-SEARCH = %d, want %d", prof.Name, row.NeedsSEARCH, prof.Search)
+		}
+		if row.AtOPE != prof.Ope {
+			t.Errorf("%s: at-OPE = %d, want %d", prof.Name, row.AtOPE, prof.Ope)
+		}
+		// DET bucket includes equality and join columns.
+		if row.AtDET != prof.Det+prof.Join {
+			t.Errorf("%s: at-DET = %d, want %d", prof.Name, row.AtDET, prof.Det+prof.Join)
+		}
+		// RND bucket: untouched columns + HOM-only columns, plus the
+		// per-table plain-free id columns that only see equality...
+		// ids are used for equality lookups, so they land in DET; the
+		// remaining RND count is None + Hom.
+		if row.AtRND < prof.None {
+			t.Errorf("%s: at-RND = %d, want >= %d", prof.Name, row.AtRND, prof.None)
+		}
+	}
+}
+
+func TestAnalyzeTraceAggregate(t *testing.T) {
+	apps := trace.GenerateTrace(8, 0.002, 7)
+	rows, err := AnalyzeApps(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := Aggregate("trace", rows)
+	if agg.ConsiderEnc == 0 {
+		t.Fatal("no columns analyzed")
+	}
+	// Shape checks mirroring the paper: the overwhelming majority of
+	// columns are supported, most sit at RND, DET is the second-largest
+	// bucket, OPE is the smallest of the three.
+	if frac(agg.NeedsPlain, agg.ConsiderEnc) > 0.05 {
+		t.Errorf("needs-plaintext fraction %.3f too high", frac(agg.NeedsPlain, agg.ConsiderEnc))
+	}
+	if agg.AtRND <= agg.AtDET || agg.AtDET <= agg.AtOPE {
+		t.Errorf("bucket ordering RND(%d) > DET(%d) > OPE(%d) violated",
+			agg.AtRND, agg.AtDET, agg.AtOPE)
+	}
+}
+
+func TestTraceSchemaStats(t *testing.T) {
+	apps := trace.GenerateTrace(5, 0.001, 3)
+	s := trace.Stats(apps)
+	if s.UsedColumns == 0 || s.Columns <= s.UsedColumns {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Databases <= s.UsedDatabases {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func frac(a, b int) float64 { return float64(a) / float64(b) }

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/sqldb"
+	"repro/internal/workload/tpcc"
+	"repro/internal/workload/trace"
+)
+
+// TestAnalyzeTPCC runs the actual TPC-C query classes through the analysis
+// pipeline (the Figure 9 TPC-C row).
+func TestAnalyzeTPCC(t *testing.T) {
+	app := trace.App{Name: "TPC-C", Schema: tpcc.Schema()}
+	g := tpcc.NewGenerator(tpcc.Config{Seed: 1})
+	for _, c := range tpcc.Classes() {
+		sql, params := g.ForClass(c)
+		app.Queries = append(app.Queries, trace.Query{SQL: sql, Params: params})
+	}
+	row, err := AnalyzeApp(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ConsiderEnc != tpcc.ColumnCount {
+		t.Fatalf("considered = %d, want %d", row.ConsiderEnc, tpcc.ColumnCount)
+	}
+	if row.NeedsPlain != 0 {
+		t.Fatalf("TPC-C should be fully supported, %d columns need plaintext", row.NeedsPlain)
+	}
+	// The mix sums ol_amount and increments d_ytd: both use HOM.
+	if row.NeedsHOM < 2 {
+		t.Fatalf("needs-HOM = %d, want >= 2", row.NeedsHOM)
+	}
+	// Range on s_quantity: at least one OPE column.
+	if row.AtOPE < 1 {
+		t.Fatalf("at-OPE = %d, want >= 1", row.AtOPE)
+	}
+	// Equality and join lookups produce DET/JOIN columns.
+	if row.AtDET < 3 {
+		t.Fatalf("at-DET = %d, want >= 3", row.AtDET)
+	}
+	// Most columns are only inserted/fetched: RND dominates (paper: 65/92).
+	if row.AtRND <= row.AtDET+row.AtOPE {
+		t.Fatalf("RND (%d) should dominate DET (%d) + OPE (%d)", row.AtRND, row.AtDET, row.AtOPE)
+	}
+}
+
+// TestSummarizeBuckets checks the MinEnc bucketing logic directly.
+func TestSummarizeBuckets(t *testing.T) {
+	_ = sqldb.Value{} // keep import for symmetry with sibling tests
+	rows, err := AnalyzeApps([]trace.App{trace.Generate(trace.Profile{
+		Name: "tiny", None: 2, Det: 1, Ope: 1, Search: 1, Hom: 1, Plain: 1,
+	}, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.ConsiderEnc != 7 || r.NeedsPlain != 1 || r.AtDET != 1 || r.AtOPE != 1 || r.AtSEARCH != 1 {
+		t.Fatalf("row = %+v", r)
+	}
+	agg := Aggregate("agg", rows)
+	if agg.ConsiderEnc != r.ConsiderEnc {
+		t.Fatalf("aggregate mismatch: %+v", agg)
+	}
+}

@@ -1,0 +1,104 @@
+package cmc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := New([]byte("key"))
+	f := func(pt []byte) bool {
+		got, err := c.Decrypt(c.Encrypt(pt))
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c := New([]byte("key"))
+	pt := []byte("the same plaintext")
+	if !bytes.Equal(c.Encrypt(pt), c.Encrypt(pt)) {
+		t.Fatal("CMC must be deterministic (it backs the DET layer)")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	pt := []byte("payload")
+	if bytes.Equal(New([]byte("k1")).Encrypt(pt), New([]byte("k2")).Encrypt(pt)) {
+		t.Fatal("different keys produced identical ciphertexts")
+	}
+}
+
+func TestNoPrefixLeak(t *testing.T) {
+	// Two plaintexts sharing a 32-byte prefix: under plain zero-IV CBC
+	// the first two ciphertext blocks would match; CMC must not leak
+	// this (§3.1's motivation for the CMC variant).
+	c := New([]byte("key"))
+	prefix := bytes.Repeat([]byte("A"), 32)
+	p1 := append(append([]byte{}, prefix...), []byte("suffix-one")...)
+	p2 := append(append([]byte{}, prefix...), []byte("suffix-TWO")...)
+	c1 := c.Encrypt(p1)
+	c2 := c.Encrypt(p2)
+	if bytes.Equal(c1[:16], c2[:16]) {
+		t.Fatal("first ciphertext blocks equal: prefix equality leaked")
+	}
+	if bytes.Equal(c1[16:32], c2[16:32]) {
+		t.Fatal("second ciphertext blocks equal: prefix equality leaked")
+	}
+}
+
+func TestNoSuffixLeak(t *testing.T) {
+	c := New([]byte("key"))
+	suffix := bytes.Repeat([]byte("Z"), 32)
+	p1 := append([]byte("one-"), suffix...)
+	p2 := append([]byte("TWO-"), suffix...)
+	c1 := c.Encrypt(p1)
+	c2 := c.Encrypt(p2)
+	if bytes.Equal(c1[len(c1)-16:], c2[len(c2)-16:]) {
+		t.Fatal("last ciphertext blocks equal: suffix equality leaked")
+	}
+}
+
+func TestDecryptBadLength(t *testing.T) {
+	c := New([]byte("key"))
+	if _, err := c.Decrypt([]byte("tiny")); err == nil {
+		t.Fatal("want error for misaligned ciphertext")
+	}
+	if _, err := c.Decrypt(nil); err == nil {
+		t.Fatal("want error for empty ciphertext")
+	}
+}
+
+func TestDecryptCorrupted(t *testing.T) {
+	c := New([]byte("key"))
+	ct := c.Encrypt([]byte("hello"))
+	ct[0] ^= 0xff
+	if got, err := c.Decrypt(ct); err == nil && bytes.Equal(got, []byte("hello")) {
+		t.Fatal("corrupted ciphertext decrypted to original plaintext")
+	}
+}
+
+func TestEmptyPlaintext(t *testing.T) {
+	c := New([]byte("key"))
+	got, err := c.Decrypt(c.Encrypt(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %q, want empty", got)
+	}
+}
+
+func TestCiphertextLength(t *testing.T) {
+	c := New([]byte("key"))
+	for _, n := range []int{0, 1, 15, 16, 17, 31, 32, 100} {
+		ct := c.Encrypt(make([]byte, n))
+		want := (n/16 + 1) * 16
+		if len(ct) != want {
+			t.Fatalf("len(Encrypt(%d bytes)) = %d, want %d", n, len(ct), want)
+		}
+	}
+}

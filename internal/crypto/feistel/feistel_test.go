@@ -1,0 +1,81 @@
+package feistel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := New([]byte("key"))
+	f := func(v uint64) bool {
+		return c.Decrypt(c.Encrypt(v)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c := New([]byte("key"))
+	if c.Encrypt(42) != c.Encrypt(42) {
+		t.Fatal("encryption not deterministic")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	c1 := New([]byte("key1"))
+	c2 := New([]byte("key2"))
+	same := 0
+	for v := uint64(0); v < 64; v++ {
+		if c1.Encrypt(v) == c2.Encrypt(v) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 ciphertexts identical across keys", same)
+	}
+}
+
+func TestPermutationInjective(t *testing.T) {
+	c := New([]byte("key"))
+	seen := make(map[uint64]uint64)
+	for v := uint64(0); v < 10000; v++ {
+		ct := c.Encrypt(v)
+		if prev, dup := seen[ct]; dup {
+			t.Fatalf("collision: Enc(%d) == Enc(%d)", v, prev)
+		}
+		seen[ct] = v
+	}
+}
+
+func TestDiffusion(t *testing.T) {
+	// Flipping one plaintext bit should change roughly half the
+	// ciphertext bits on average.
+	c := New([]byte("key"))
+	totalFlips := 0
+	const trials = 256
+	for i := 0; i < trials; i++ {
+		v := uint64(i) * 0x9e3779b97f4a7c15
+		a := c.Encrypt(v)
+		b := c.Encrypt(v ^ 1)
+		diff := a ^ b
+		for diff != 0 {
+			totalFlips += int(diff & 1)
+			diff >>= 1
+		}
+	}
+	avg := float64(totalFlips) / trials
+	if avg < 24 || avg > 40 {
+		t.Fatalf("average bit flips = %v, want ~32", avg)
+	}
+}
+
+func TestZeroBlock(t *testing.T) {
+	c := New([]byte("key"))
+	if c.Encrypt(0) == 0 {
+		t.Fatal("Enc(0) == 0 is vanishingly unlikely for a PRP")
+	}
+	if c.Decrypt(c.Encrypt(0)) != 0 {
+		t.Fatal("round trip of zero failed")
+	}
+}

@@ -1,0 +1,152 @@
+package hgd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto/prf"
+)
+
+func coins(seed byte) *prf.Stream {
+	return prf.NewStream([]byte("hgd-test"), []byte{seed})
+}
+
+func TestSupportBounds(t *testing.T) {
+	f := func(dRaw, wRaw, bRaw uint64, seed byte) bool {
+		white := wRaw % 10000
+		black := bRaw % 10000
+		if white+black == 0 {
+			return true
+		}
+		draws := dRaw % (white + black + 1)
+		got := Sample(draws, white, black, coins(seed))
+		lo := uint64(0)
+		if draws > black {
+			lo = draws - black
+		}
+		hi := white
+		if draws < hi {
+			hi = draws
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	cases := []struct {
+		draws, white, black, want uint64
+	}{
+		{0, 10, 10, 0},   // no draws
+		{5, 0, 10, 0},    // no white balls
+		{5, 10, 0, 5},    // no black balls
+		{20, 10, 10, 10}, // draw everything
+	}
+	for _, c := range cases {
+		if got := Sample(c.draws, c.white, c.black, coins(1)); got != c.want {
+			t.Errorf("Sample(%d,%d,%d) = %d, want %d", c.draws, c.white, c.black, got, c.want)
+		}
+	}
+}
+
+func TestDeterministicWithSameCoins(t *testing.T) {
+	a := Sample(500, 1000, 1000, coins(7))
+	b := Sample(500, 1000, 1000, coins(7))
+	if a != b {
+		t.Fatalf("same coins gave %d and %d", a, b)
+	}
+}
+
+func TestVariesWithCoins(t *testing.T) {
+	seen := map[uint64]bool{}
+	for s := byte(0); s < 32; s++ {
+		seen[Sample(500, 1000, 1000, coins(s))] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct samples over 32 coin streams", len(seen))
+	}
+}
+
+func TestMeanSmall(t *testing.T) {
+	// E[X] = draws * white / (white+black). HIN branch.
+	const draws, white, black = 10, 20, 80
+	sum := 0.0
+	const n = 3000
+	for i := 0; i < n; i++ {
+		sum += float64(Sample(draws, white, black, coins(byte(i))))
+	}
+	// reuse more coin variety than 256 seeds
+	mean := sum / n
+	want := float64(draws) * white / (white + black) // 2.0
+	if mean < want*0.85 || mean > want*1.15 {
+		t.Fatalf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestMeanLarge(t *testing.T) {
+	// Large populations exercise the H2PEC rejection branch.
+	const draws, white, black = 1 << 20, 1 << 20, 1 << 20
+	sum := 0.0
+	const n = 200
+	for i := 0; i < n; i++ {
+		s := prf.NewStream([]byte("large"), []byte{byte(i), byte(i >> 8)})
+		sum += float64(Sample(draws, white, black, s))
+	}
+	mean := sum / n
+	want := float64(draws) / 2
+	if mean < want*0.99 || mean > want*1.01 {
+		t.Fatalf("mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestHugePopulation(t *testing.T) {
+	// OPE's first recursion step: 2^63 draws from 2^32 white and
+	// 2^64-2^32 black balls. Must terminate and stay in support.
+	white := uint64(1) << 32
+	black := ^uint64(0) - white
+	draws := uint64(1) << 63
+	got := Sample(draws, white, black, coins(3))
+	if got > white {
+		t.Fatalf("sample %d exceeds white count", got)
+	}
+	// The expected value is ~2^31; allow a generous window but
+	// catch grossly broken sampling.
+	if got < 1<<28 || got > 1<<34 {
+		t.Fatalf("sample %d wildly far from expectation 2^31", got)
+	}
+}
+
+func TestVarianceReasonable(t *testing.T) {
+	// Hypergeometric variance = k*(w/(w+b))*(b/(w+b))*((w+b-k)/(w+b-1)).
+	const draws, white, black = 100, 500, 500
+	var vals []float64
+	for i := 0; i < 500; i++ {
+		s := prf.NewStream([]byte("var"), []byte{byte(i), byte(i >> 8)})
+		vals = append(vals, float64(Sample(draws, white, black, s)))
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	varSum := 0.0
+	for _, v := range vals {
+		varSum += (v - mean) * (v - mean)
+	}
+	variance := varSum / float64(len(vals))
+	want := 100.0 * 0.5 * 0.5 * (900.0 / 999.0) // ~22.5
+	if variance < want*0.6 || variance > want*1.5 {
+		t.Fatalf("variance = %v, want ~%v", variance, want)
+	}
+}
+
+func TestDrawsExceedPopulationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic when draws exceed population")
+		}
+	}()
+	Sample(21, 10, 10, coins(0))
+}

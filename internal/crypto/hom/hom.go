@@ -1,0 +1,230 @@
+// Package hom implements CryptDB's HOM layer (§3.1): the Paillier
+// cryptosystem, an IND-CPA-secure additively homomorphic scheme. The DBMS
+// server multiplies ciphertexts (via a UDF) to obtain the encryption of the
+// sum, which supports SUM aggregates, AVG (sum + count) and increment
+// UPDATEs without ever seeing plaintext.
+//
+// Ciphertexts are 2048 bits (n is 1024 bits), matching the paper. Because
+// Paillier encryption's dominant cost is computing r^n mod n^2 for a fresh
+// random r, the package supports the paper's §3.5.2 optimization of
+// precomputing a pool of r^n values off the critical path; see Precompute.
+package hom
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// DefaultBits is the bit length of the modulus n (ciphertexts are 2·n bits).
+const DefaultBits = 1024
+
+var one = big.NewInt(1)
+
+// Key holds a Paillier key pair. Public components: N, G. Private: Lambda,
+// Mu. The zero value is unusable; construct with GenerateKey.
+type Key struct {
+	N  *big.Int // modulus
+	N2 *big.Int // n^2, the ciphertext modulus
+	G  *big.Int // generator, n+1
+
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod n^2))^-1 mod n
+
+	mu2  sync.Mutex
+	pool []*big.Int // precomputed r^n mod n^2 values
+}
+
+// GenerateKey creates a fresh Paillier key with an n-bit modulus.
+func GenerateKey(bits int) (*Key, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("hom: modulus of %d bits is too small", bits)
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("hom: generating prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("hom: generating prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, new(big.Int).GCD(nil, nil, pm1, qm1)) // lcm
+
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+
+		// mu = (L(g^lambda mod n^2))^-1 mod n
+		glambda := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(glambda, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue // degenerate; retry
+		}
+		return &Key{N: n, N2: n2, G: g, lambda: lambda, mu: mu}, nil
+	}
+}
+
+// lFunc computes L(x) = (x-1)/n.
+func lFunc(x, n *big.Int) *big.Int {
+	l := new(big.Int).Sub(x, one)
+	return l.Div(l, n)
+}
+
+// Precompute fills the pool with count fresh r^n values so subsequent
+// Encrypt calls skip the expensive exponentiation. The paper pre-computes
+// 30,000 such values using idle proxy time (§3.5.2, Figure 12).
+func (k *Key) Precompute(count int) error {
+	vals := make([]*big.Int, 0, count)
+	for i := 0; i < count; i++ {
+		rn, err := k.freshRN()
+		if err != nil {
+			return err
+		}
+		vals = append(vals, rn)
+	}
+	k.mu2.Lock()
+	k.pool = append(k.pool, vals...)
+	k.mu2.Unlock()
+	return nil
+}
+
+// PoolSize reports how many precomputed r^n values remain.
+func (k *Key) PoolSize() int {
+	k.mu2.Lock()
+	defer k.mu2.Unlock()
+	return len(k.pool)
+}
+
+func (k *Key) freshRN() (*big.Int, error) {
+	for {
+		r, err := rand.Int(rand.Reader, k.N)
+		if err != nil {
+			return nil, fmt.Errorf("hom: sampling randomness: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, k.N).Cmp(one) != 0 {
+			continue
+		}
+		return new(big.Int).Exp(r, k.N, k.N2), nil
+	}
+}
+
+func (k *Key) takeRN() (*big.Int, error) {
+	k.mu2.Lock()
+	if n := len(k.pool); n > 0 {
+		rn := k.pool[n-1]
+		k.pool = k.pool[:n-1]
+		k.mu2.Unlock()
+		return rn, nil
+	}
+	k.mu2.Unlock()
+	return k.freshRN()
+}
+
+// Encrypt encrypts a non-negative integer m < n:
+// c = g^m · r^n mod n^2.
+func (k *Key) Encrypt(m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(k.N) >= 0 {
+		return nil, fmt.Errorf("hom: plaintext out of range [0, n)")
+	}
+	rn, err := k.takeRN()
+	if err != nil {
+		return nil, err
+	}
+	// g = n+1, so g^m = 1 + m·n mod n^2 (binomial shortcut).
+	gm := new(big.Int).Mul(m, k.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, k.N2)
+	return gm.Mul(gm, rn).Mod(gm, k.N2), nil
+}
+
+// EncryptInt64 encrypts a signed 64-bit value, encoding negatives as n - |m|
+// so that homomorphic sums of mixed-sign values decrypt correctly as long as
+// the true sum stays within ±2^255.
+func (k *Key) EncryptInt64(m int64) (*big.Int, error) {
+	b := big.NewInt(m)
+	if m < 0 {
+		b.Add(k.N, b)
+	}
+	return k.Encrypt(b)
+}
+
+// Decrypt recovers the plaintext: m = L(c^lambda mod n^2) · mu mod n.
+func (k *Key) Decrypt(c *big.Int) (*big.Int, error) {
+	if c.Sign() <= 0 || c.Cmp(k.N2) >= 0 {
+		return nil, errors.New("hom: ciphertext out of range")
+	}
+	clambda := new(big.Int).Exp(c, k.lambda, k.N2)
+	m := lFunc(clambda, k.N)
+	m.Mul(m, k.mu)
+	return m.Mod(m, k.N), nil
+}
+
+// DecryptInt64 decrypts and decodes the signed representation used by
+// EncryptInt64.
+func (k *Key) DecryptInt64(c *big.Int) (int64, error) {
+	m, err := k.Decrypt(c)
+	if err != nil {
+		return 0, err
+	}
+	half := new(big.Int).Rsh(k.N, 1)
+	if m.Cmp(half) > 0 { // negative value
+		m.Sub(m, k.N)
+	}
+	if !m.IsInt64() {
+		return 0, errors.New("hom: decrypted value does not fit in int64")
+	}
+	return m.Int64(), nil
+}
+
+// Add homomorphically adds two ciphertexts: Enc(a)·Enc(b) = Enc(a+b).
+// This is the operation CryptDB's hom_add UDF performs at the DBMS server.
+func (k *Key) Add(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, k.N2)
+}
+
+// AddPlain homomorphically adds a plaintext constant: Enc(a)·g^b = Enc(a+b).
+func (k *Key) AddPlain(c *big.Int, b int64) *big.Int {
+	bb := big.NewInt(b)
+	if b < 0 {
+		bb.Add(k.N, bb)
+	}
+	gb := new(big.Int).Mul(bb, k.N)
+	gb.Add(gb, one)
+	gb.Mod(gb, k.N2)
+	out := new(big.Int).Mul(c, gb)
+	return out.Mod(out, k.N2)
+}
+
+// EncryptZero returns a fresh encryption of zero (the neutral element for
+// server-side SUM aggregation).
+func (k *Key) EncryptZero() (*big.Int, error) {
+	return k.Encrypt(big.NewInt(0))
+}
+
+// CiphertextBytes serializes a ciphertext to a fixed-width big-endian blob
+// (2·bits/8 bytes), the format stored in the DBMS Add onion column.
+func (k *Key) CiphertextBytes(c *big.Int) []byte {
+	return c.FillBytes(make([]byte, (k.N2.BitLen()+7)/8))
+}
+
+// CiphertextFromBytes parses a blob produced by CiphertextBytes.
+func (k *Key) CiphertextFromBytes(b []byte) *big.Int {
+	return new(big.Int).SetBytes(b)
+}

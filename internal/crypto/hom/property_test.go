@@ -1,0 +1,71 @@
+package hom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestHomomorphismChainProperty folds random value sequences through Add
+// and checks against the plaintext sum — the invariant behind every SUM
+// the DBMS computes.
+func TestHomomorphismChainProperty(t *testing.T) {
+	k := testKey(t)
+	f := func(vals []int16) bool {
+		acc, err := k.EncryptZero()
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		for _, v := range vals {
+			ct, err := k.EncryptInt64(int64(v))
+			if err != nil {
+				return false
+			}
+			acc = k.Add(acc, ct)
+			want += int64(v)
+		}
+		got, err := k.DecryptInt64(acc)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddPlainChain mirrors repeated UPDATE ... SET x = x + k statements.
+func TestAddPlainChain(t *testing.T) {
+	k := testKey(t)
+	ct, err := k.EncryptInt64(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for _, d := range []int64{5, -3, 1000, -2000, 7} {
+		ct = k.AddPlain(ct, d)
+		want += d
+	}
+	got, err := k.DecryptInt64(ct)
+	if err != nil || got != want {
+		t.Fatalf("chain = %d, want %d (%v)", got, want, err)
+	}
+}
+
+// TestCiphertextNondeterministicUnderPool confirms the r^n pool preserves
+// probabilistic encryption: pooled ciphertexts of equal plaintexts differ.
+func TestCiphertextNondeterministicUnderPool(t *testing.T) {
+	k := testKey(t)
+	if err := k.Precompute(4); err != nil {
+		t.Fatal(err)
+	}
+	a, err := k.EncryptInt64(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.EncryptInt64(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) == 0 {
+		t.Fatal("pooled encryption became deterministic")
+	}
+}

@@ -1,0 +1,120 @@
+// Package joinadj implements CryptDB's JOIN-ADJ adjustable-join primitive
+// (§3.4): a keyed, collision-resistant, non-invertible hash whose key the
+// DBMS server can switch without seeing plaintext.
+//
+//	JOIN-ADJ_K(v) = P^(K · PRF_K0(v))            (Equation 2)
+//
+// where P is a public elliptic-curve point and the exponentiation is
+// EC scalar multiplication. To let the server join columns c and c' with
+// keys K and K', the proxy sends ΔK = K/K' (mod the group order); the server
+// raises every JOIN-ADJ value in c' to ΔK:
+//
+//	(JOIN-ADJ_K'(v))^ΔK = P^(K'·PRF(v)·K/K') = JOIN-ADJ_K(v)
+//
+// The full JOIN layer ciphertext is JOIN(v) = JOIN-ADJ(v) ‖ DET(v): the
+// JOIN-ADJ part supports cross-column equality, the DET part lets the proxy
+// decrypt. The paper uses a NIST curve; we use P-256 from the standard
+// library.
+package joinadj
+
+import (
+	"crypto/elliptic"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/crypto/prf"
+)
+
+var curve = elliptic.P256()
+
+// Size is the serialized size of a JOIN-ADJ value (compressed P-256 point).
+const Size = 33
+
+// Key is a per-column join key: a scalar in [1, order).
+type Key struct {
+	k *big.Int
+}
+
+// DeriveKey derives a column's JOIN-ADJ key from key-derivation material.
+func DeriveKey(material []byte) *Key {
+	// Hash to a scalar in [1, N-1].
+	n := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	k := new(big.Int).SetBytes(prf.Sum(material, []byte("joinadj-key")))
+	k.Mod(k, n)
+	k.Add(k, big.NewInt(1))
+	return &Key{k: k}
+}
+
+// Compute evaluates JOIN-ADJ_K(v) with the shared PRF key k0 (same for all
+// columns, derived from MK — §3.4).
+func (key *Key) Compute(k0, v []byte) []byte {
+	// e = K · PRF_K0(v) mod N
+	h := new(big.Int).SetBytes(prf.Sum(k0, []byte("joinadj-prf"), v))
+	e := h.Mul(h, key.k)
+	e.Mod(e, curve.Params().N)
+	if e.Sign() == 0 {
+		e.SetInt64(1) // negligible-probability degenerate case
+	}
+	x, y := curve.ScalarBaseMult(e.Bytes())
+	return compress(x, y)
+}
+
+// Delta computes ΔK = K / K' mod N: the adjustment token the proxy sends to
+// the server to re-key column c' (with key old) to this column's key.
+func (key *Key) Delta(old *Key) (*big.Int, error) {
+	inv := new(big.Int).ModInverse(old.k, curve.Params().N)
+	if inv == nil {
+		return nil, errors.New("joinadj: old key not invertible")
+	}
+	d := new(big.Int).Mul(key.k, inv)
+	return d.Mod(d, curve.Params().N), nil
+}
+
+// Adjust re-keys one stored JOIN-ADJ value by ΔK. This is the computation
+// CryptDB's server-side UDF performs during an onion-layer join adjustment;
+// note it requires neither plaintext nor column keys.
+func Adjust(val []byte, delta *big.Int) ([]byte, error) {
+	x, y, err := decompress(val)
+	if err != nil {
+		return nil, err
+	}
+	nx, ny := curve.ScalarMult(x, y, delta.Bytes())
+	return compress(nx, ny), nil
+}
+
+// compress serializes a point in SEC1 compressed form.
+func compress(x, y *big.Int) []byte {
+	out := make([]byte, Size)
+	out[0] = 2 + byte(y.Bit(0))
+	x.FillBytes(out[1:])
+	return out
+}
+
+// decompress parses a SEC1 compressed P-256 point.
+func decompress(b []byte) (*big.Int, *big.Int, error) {
+	if len(b) != Size || (b[0] != 2 && b[0] != 3) {
+		return nil, nil, fmt.Errorf("joinadj: bad point encoding (%d bytes)", len(b))
+	}
+	p := curve.Params().P
+	x := new(big.Int).SetBytes(b[1:])
+	if x.Cmp(p) >= 0 {
+		return nil, nil, errors.New("joinadj: x out of range")
+	}
+	// y² = x³ - 3x + b mod p
+	y2 := new(big.Int).Mul(x, x)
+	y2.Mul(y2, x)
+	three := new(big.Int).Lsh(x, 1)
+	three.Add(three, x)
+	y2.Sub(y2, three)
+	y2.Add(y2, curve.Params().B)
+	y2.Mod(y2, p)
+	y := new(big.Int).ModSqrt(y2, p)
+	if y == nil {
+		return nil, nil, errors.New("joinadj: not a curve point")
+	}
+	if y.Bit(0) != uint(b[0]&1) {
+		y.Sub(p, y)
+	}
+	return x, y, nil
+}

@@ -1,0 +1,137 @@
+package joinadj
+
+import (
+	"bytes"
+	"testing"
+)
+
+var k0 = []byte("shared-prf-key")
+
+func TestDeterministicWithinColumn(t *testing.T) {
+	k := DeriveKey([]byte("col-A"))
+	a := k.Compute(k0, []byte("alice"))
+	b := k.Compute(k0, []byte("alice"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("JOIN-ADJ must be deterministic")
+	}
+	if len(a) != Size {
+		t.Fatalf("value size = %d, want %d", len(a), Size)
+	}
+}
+
+func TestInequalityWithinColumn(t *testing.T) {
+	k := DeriveKey([]byte("col-A"))
+	if bytes.Equal(k.Compute(k0, []byte("alice")), k.Compute(k0, []byte("bob"))) {
+		t.Fatal("distinct values collided")
+	}
+}
+
+func TestNoCrossColumnMatchBeforeAdjust(t *testing.T) {
+	// Before adjustment, equal plaintexts in different columns must not
+	// match — this is the privacy property of §3.4.
+	kA := DeriveKey([]byte("col-A"))
+	kB := DeriveKey([]byte("col-B"))
+	if bytes.Equal(kA.Compute(k0, []byte("alice")), kB.Compute(k0, []byte("alice"))) {
+		t.Fatal("cross-column values matched before adjustment")
+	}
+}
+
+func TestAdjustEnablesJoin(t *testing.T) {
+	kA := DeriveKey([]byte("col-A"))
+	kB := DeriveKey([]byte("col-B"))
+	valB := kB.Compute(k0, []byte("alice"))
+
+	delta, err := kA.Delta(kB) // re-key B's values to A's key
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted, err := Adjust(valB, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(adjusted, kA.Compute(k0, []byte("alice"))) {
+		t.Fatal("adjusted value does not match the join-base column")
+	}
+}
+
+func TestAdjustPreservesInequality(t *testing.T) {
+	kA := DeriveKey([]byte("col-A"))
+	kB := DeriveKey([]byte("col-B"))
+	delta, err := kA.Delta(kB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjAlice, err := Adjust(kB.Compute(k0, []byte("alice")), delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(adjAlice, kA.Compute(k0, []byte("bob"))) {
+		t.Fatal("adjustment created a spurious match")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	// Join A-B then B-C: after both adjust to the same base, A and C
+	// values for equal plaintexts match (§3.4 transitivity).
+	kA := DeriveKey([]byte("col-A"))
+	kB := DeriveKey([]byte("col-B"))
+	kC := DeriveKey([]byte("col-C"))
+
+	dB, err := kA.Delta(kB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dC, err := kA.Delta(kC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Adjust(kB.Compute(k0, []byte("v")), dB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Adjust(kC.Compute(k0, []byte("v")), dC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, c) {
+		t.Fatal("transitive join values do not match")
+	}
+}
+
+func TestPRFKeySeparation(t *testing.T) {
+	// A different shared PRF key (different master key / deployment)
+	// must produce unrelated values.
+	k := DeriveKey([]byte("col-A"))
+	if bytes.Equal(k.Compute([]byte("k0-one"), []byte("v")), k.Compute([]byte("k0-two"), []byte("v"))) {
+		t.Fatal("values match across PRF keys")
+	}
+}
+
+func TestAdjustRejectsGarbage(t *testing.T) {
+	kA := DeriveKey([]byte("col-A"))
+	kB := DeriveKey([]byte("col-B"))
+	delta, err := kA.Delta(kB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Adjust([]byte("not a point"), delta); err == nil {
+		t.Fatal("want error for malformed point")
+	}
+	bad := make([]byte, Size)
+	bad[0] = 9
+	if _, err := Adjust(bad, delta); err == nil {
+		t.Fatal("want error for bad prefix byte")
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	k := DeriveKey([]byte("col"))
+	val := k.Compute(k0, []byte("data"))
+	x, y, err := decompress(val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compress(x, y), val) {
+		t.Fatal("compress/decompress round trip failed")
+	}
+}

@@ -1,0 +1,61 @@
+// Package keys implements CryptDB's key derivation (Equation 1 of the
+// paper): every (table, column, onion, layer) gets its own key derived from
+// a single master key MK via a pseudo-random function, so the proxy stores
+// one secret and the server can never correlate columns.
+package keys
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"repro/internal/crypto/prf"
+)
+
+// Size is the byte length of all derived keys.
+const Size = 32
+
+// Master holds the proxy's secret master key MK.
+type Master struct {
+	mk []byte
+}
+
+// NewMaster generates a fresh random master key.
+func NewMaster() (*Master, error) {
+	mk := make([]byte, Size)
+	if _, err := rand.Read(mk); err != nil {
+		return nil, fmt.Errorf("keys: generating master key: %w", err)
+	}
+	return &Master{mk: mk}, nil
+}
+
+// MasterFromBytes builds a Master from existing key material (e.g. a
+// principal's key in multi-principal mode, where onion keys are derived
+// from the principal key rather than a global MK — §4.2).
+func MasterFromBytes(b []byte) *Master {
+	mk := make([]byte, Size)
+	copy(mk, prf.Sum(b, []byte("cryptdb-master")))
+	return &Master{mk: mk}
+}
+
+// Derive computes K_{table,column,onion,layer} = PRF_MK(table, column,
+// onion, layer). The paper uses a PRP (AES); any PRF with ≥128-bit output is
+// an equivalent instantiation.
+func (m *Master) Derive(table, column, onion, layer string) []byte {
+	return prf.Sum(m.mk,
+		[]byte("key"),
+		[]byte(table), []byte(column), []byte(onion), []byte(layer))
+}
+
+// DeriveLabel derives a key for a free-form purpose not tied to a column,
+// such as the shared PRF key K0 inside JOIN-ADJ.
+func (m *Master) DeriveLabel(label string) []byte {
+	return prf.Sum(m.mk, []byte("label"), []byte(label))
+}
+
+// Bytes returns the raw master key. Used only by tests and by the
+// multi-principal layer when wrapping keys for storage.
+func (m *Master) Bytes() []byte {
+	out := make([]byte, len(m.mk))
+	copy(out, m.mk)
+	return out
+}

@@ -1,0 +1,76 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeriveDeterministic(t *testing.T) {
+	m := MasterFromBytes([]byte("seed"))
+	a := m.Derive("t1", "c1", "Eq", "DET")
+	b := m.Derive("t1", "c1", "Eq", "DET")
+	if !bytes.Equal(a, b) {
+		t.Fatal("Derive not deterministic")
+	}
+	if len(a) != 32 {
+		t.Fatalf("key length = %d, want 32", len(a))
+	}
+}
+
+func TestDeriveSeparation(t *testing.T) {
+	m := MasterFromBytes([]byte("seed"))
+	base := m.Derive("t1", "c1", "Eq", "DET")
+	variants := [][4]string{
+		{"t2", "c1", "Eq", "DET"},
+		{"t1", "c2", "Eq", "DET"},
+		{"t1", "c1", "Ord", "DET"},
+		{"t1", "c1", "Eq", "RND"},
+	}
+	for _, v := range variants {
+		k := m.Derive(v[0], v[1], v[2], v[3])
+		if bytes.Equal(base, k) {
+			t.Fatalf("key for %v collides with base", v)
+		}
+	}
+}
+
+func TestDeriveMasterSeparation(t *testing.T) {
+	m1 := MasterFromBytes([]byte("seed1"))
+	m2 := MasterFromBytes([]byte("seed2"))
+	if bytes.Equal(m1.Derive("t", "c", "Eq", "DET"), m2.Derive("t", "c", "Eq", "DET")) {
+		t.Fatal("different masters must derive different keys")
+	}
+}
+
+func TestNewMasterRandom(t *testing.T) {
+	a, err := NewMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMaster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two fresh masters are identical")
+	}
+}
+
+func TestDeriveLabel(t *testing.T) {
+	m := MasterFromBytes([]byte("seed"))
+	if bytes.Equal(m.DeriveLabel("a"), m.DeriveLabel("b")) {
+		t.Fatal("labels must separate keys")
+	}
+	if !bytes.Equal(m.DeriveLabel("a"), m.DeriveLabel("a")) {
+		t.Fatal("DeriveLabel not deterministic")
+	}
+}
+
+func TestBytesIsCopy(t *testing.T) {
+	m := MasterFromBytes([]byte("seed"))
+	b := m.Bytes()
+	b[0] ^= 0xff
+	if bytes.Equal(b, m.Bytes()) {
+		t.Fatal("Bytes must return a copy")
+	}
+}

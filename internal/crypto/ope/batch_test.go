@@ -1,0 +1,76 @@
+package ope
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncryptBatchMatchesSingle(t *testing.T) {
+	single := New([]byte("key"))
+	batch := New([]byte("key"))
+	rng := rand.New(rand.NewSource(4))
+	ms := make([]uint64, 40)
+	for i := range ms {
+		ms[i] = uint64(rng.Uint32())
+	}
+	got, err := batch.EncryptBatch(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ms {
+		want, err := single.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("batch[%d] = %d, single = %d", i, got[i], want)
+		}
+	}
+}
+
+func TestEncryptBatchPreservesInputOrder(t *testing.T) {
+	c := New([]byte("key"))
+	ms := []uint64{500, 1, 300, 2}
+	cts, err := c.EncryptBatch(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Order preservation holds pairwise on the original positions.
+	if !(cts[1] < cts[3] && cts[3] < cts[2] && cts[2] < cts[0]) {
+		t.Fatalf("order violated: %v -> %v", ms, cts)
+	}
+}
+
+func TestEncryptBatchEmpty(t *testing.T) {
+	c := New([]byte("key"))
+	out, err := c.EncryptBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func BenchmarkBatchVsUnsorted(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ms := make([]uint64, 200)
+	for i := range ms {
+		ms[i] = uint64(rng.Uint32())
+	}
+	b.Run("batch-sorted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := New([]byte{byte(i), byte(i >> 8)})
+			if _, err := c.EncryptBatch(ms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unsorted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := New([]byte{byte(i), byte(i >> 8)})
+			for _, m := range ms {
+				if _, err := c.Encrypt(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

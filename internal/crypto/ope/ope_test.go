@@ -1,0 +1,216 @@
+package ope
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderPreserved(t *testing.T) {
+	c := New([]byte("key"))
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := uint64(aRaw), uint64(bRaw)
+		ca, err := c.Encrypt(a)
+		if err != nil {
+			return false
+		}
+		cb, err := c.Encrypt(b)
+		if err != nil {
+			return false
+		}
+		switch {
+		case a < b:
+			return ca < cb
+		case a > b:
+			return ca > cb
+		default:
+			return ca == cb
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderPreservedSorted(t *testing.T) {
+	c := New([]byte("key"))
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]uint64, 200)
+	for i := range pts {
+		pts[i] = uint64(rng.Uint32())
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	var prev uint64
+	for i, p := range pts {
+		ct, err := c.Encrypt(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && pts[i-1] < p && ct <= prev {
+			t.Fatalf("order violated at %d: Enc(%d)=%d <= Enc(%d)=%d", i, p, ct, pts[i-1], prev)
+		}
+		prev = ct
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := New([]byte("key"))
+	for _, m := range []uint64{0, 1, 2, 1000, 1 << 20, 1<<32 - 1} {
+		ct, err := c.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt(Enc(%d)): %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip %d -> %d", m, got)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	c := New([]byte("key"))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		m := uint64(rng.Uint32())
+		ct, err := c.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decrypt(ct)
+		if err != nil || got != m {
+			t.Fatalf("round trip %d -> %d (%v)", m, got, err)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c1 := New([]byte("key"))
+	c2 := New([]byte("key"))
+	for _, m := range []uint64{5, 99999, 1 << 31} {
+		a, _ := c1.Encrypt(m)
+		b, _ := c2.Encrypt(m)
+		if a != b {
+			t.Fatalf("two ciphers with the same key disagree on %d: %d vs %d", m, a, b)
+		}
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	c1 := New([]byte("key1"))
+	c2 := New([]byte("key2"))
+	same := 0
+	for m := uint64(0); m < 32; m++ {
+		a, _ := c1.Encrypt(m)
+		b, _ := c2.Encrypt(m)
+		if a == b {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/32 ciphertexts identical across keys", same)
+	}
+}
+
+func TestCacheConsistency(t *testing.T) {
+	// With and without the node cache, the mapping must be identical —
+	// the cache is a pure performance optimization (§3.1).
+	withCache := New([]byte("key"))
+	noCache := New([]byte("key"))
+	noCache.DisableCache()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		m := uint64(rng.Uint32())
+		a, err := withCache.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := noCache.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("cache changed ciphertext of %d: %d vs %d", m, a, b)
+		}
+	}
+}
+
+func TestDomainBoundsError(t *testing.T) {
+	c, err := NewWithBits([]byte("key"), 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encrypt(1 << 16); err == nil {
+		t.Fatal("want error for plaintext outside the domain")
+	}
+}
+
+func TestInvalidCiphertext(t *testing.T) {
+	c, err := NewWithBits([]byte("key"), 8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect all valid ciphertexts for the 256-point domain, then
+	// probe values not in the image.
+	valid := map[uint64]bool{}
+	for m := uint64(0); m < 256; m++ {
+		ct, err := c.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid[ct] = true
+	}
+	probes := 0
+	for ct := uint64(0); ct < 1<<20 && probes < 50; ct += 9973 {
+		if valid[ct] {
+			continue
+		}
+		probes++
+		if _, err := c.Decrypt(ct); err == nil {
+			t.Fatalf("Decrypt accepted non-image ciphertext %d", ct)
+		}
+	}
+}
+
+func TestSmallDomainExhaustive(t *testing.T) {
+	c, err := NewWithBits([]byte("key"), 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for m := uint64(0); m < 256; m++ {
+		ct, err := c.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m > 0 && ct <= prev {
+			t.Fatalf("order violated: Enc(%d)=%d <= Enc(%d)=%d", m, ct, m-1, prev)
+		}
+		prev = ct
+		got, err := c.Decrypt(ct)
+		if err != nil || got != m {
+			t.Fatalf("round trip %d -> %d (%v)", m, got, err)
+		}
+	}
+}
+
+func TestNewWithBitsValidation(t *testing.T) {
+	for _, tc := range [][2]uint{{0, 10}, {10, 10}, {12, 10}, {32, 65}} {
+		if _, err := NewWithBits([]byte("k"), tc[0], tc[1]); err == nil {
+			t.Fatalf("NewWithBits(%d, %d) should fail", tc[0], tc[1])
+		}
+	}
+}
+
+func TestRangeBoundsOnDecrypt(t *testing.T) {
+	c, err := NewWithBits([]byte("key"), 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decrypt(1 << 20); err == nil {
+		t.Fatal("want error for ciphertext outside the range")
+	}
+}

@@ -1,0 +1,117 @@
+package prf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	k := []byte("key")
+	a := Sum(k, []byte("hello"), []byte("world"))
+	b := Sum(k, []byte("hello"), []byte("world"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("Sum not deterministic")
+	}
+	if len(a) != 32 {
+		t.Fatalf("Sum length = %d, want 32", len(a))
+	}
+}
+
+func TestSumChunkingMatters(t *testing.T) {
+	k := []byte("key")
+	a := Sum(k, []byte("ab"), []byte("c"))
+	b := Sum(k, []byte("a"), []byte("bc"))
+	if bytes.Equal(a, b) {
+		t.Fatal("different chunkings must not collide")
+	}
+}
+
+func TestSumKeySeparation(t *testing.T) {
+	a := Sum([]byte("k1"), []byte("data"))
+	b := Sum([]byte("k2"), []byte("data"))
+	if bytes.Equal(a, b) {
+		t.Fatal("different keys must produce different outputs")
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	s1 := NewStream([]byte("key"), []byte("ctx"))
+	s2 := NewStream([]byte("key"), []byte("ctx"))
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("streams diverge at draw %d", i)
+		}
+	}
+}
+
+func TestStreamContextSeparation(t *testing.T) {
+	s1 := NewStream([]byte("key"), []byte("ctx1"))
+	s2 := NewStream([]byte("key"), []byte("ctx2"))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/64 identical draws across contexts", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	f := func(nRaw uint64) bool {
+		n := nRaw%100000 + 1
+		s := NewStream([]byte("k"), []byte{byte(nRaw)})
+		for i := 0; i < 20; i++ {
+			if v := s.Uint64n(n); v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPowerOfTwo(t *testing.T) {
+	s := NewStream([]byte("k"))
+	for i := 0; i < 100; i++ {
+		if v := s.Uint64n(16); v >= 16 {
+			t.Fatalf("Uint64n(16) = %d", v)
+		}
+	}
+}
+
+func TestUint64nZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) should panic")
+		}
+	}()
+	NewStream([]byte("k")).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream([]byte("k"))
+	for i := 0; i < 1000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Distribution(t *testing.T) {
+	s := NewStream([]byte("k"))
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,111 @@
+// Package rnd implements CryptDB's RND encryption layer (§3.1): an IND-CPA
+// probabilistic scheme under which no computation is possible. Byte strings
+// use AES-256-CBC with a random IV; 64-bit integers use the 64-bit-block PRP
+// from package feistel in single-block CBC mode (the paper uses Blowfish for
+// the same reason: to keep integer ciphertexts 64 bits).
+//
+// The IV is stored alongside the ciphertext in a separate column at the DBMS
+// (the C*-IV columns of Figure 3) and is shared by the RND layers of the Eq
+// and Ord onions of a data item.
+package rnd
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/feistel"
+	"repro/internal/crypto/prf"
+)
+
+// IVSize is the byte length of the per-row initialization vector.
+const IVSize = aes.BlockSize
+
+// NewIV draws a fresh random IV.
+func NewIV() ([]byte, error) {
+	iv := make([]byte, IVSize)
+	if _, err := rand.Read(iv); err != nil {
+		return nil, fmt.Errorf("rnd: generating IV: %w", err)
+	}
+	return iv, nil
+}
+
+// Bytes encrypts arbitrary data under key with the given IV using
+// AES-256-CBC with PKCS#7-style padding. The same (key, iv, pt) triple
+// always yields the same ciphertext; probabilistic security comes from
+// drawing a fresh IV per row.
+func Bytes(key, iv, pt []byte) ([]byte, error) {
+	if len(iv) != IVSize {
+		return nil, fmt.Errorf("rnd: IV must be %d bytes, got %d", IVSize, len(iv))
+	}
+	block, err := aes.NewCipher(prf.Sum(key, []byte("rnd-aes")))
+	if err != nil {
+		return nil, fmt.Errorf("rnd: %w", err)
+	}
+	padded := pad(pt, aes.BlockSize)
+	ct := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(ct, padded)
+	return ct, nil
+}
+
+// DecryptBytes inverts Bytes.
+func DecryptBytes(key, iv, ct []byte) ([]byte, error) {
+	if len(iv) != IVSize {
+		return nil, fmt.Errorf("rnd: IV must be %d bytes, got %d", IVSize, len(iv))
+	}
+	if len(ct) == 0 || len(ct)%aes.BlockSize != 0 {
+		return nil, fmt.Errorf("rnd: ciphertext length %d not a positive multiple of %d", len(ct), aes.BlockSize)
+	}
+	block, err := aes.NewCipher(prf.Sum(key, []byte("rnd-aes")))
+	if err != nil {
+		return nil, fmt.Errorf("rnd: %w", err)
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(pt, ct)
+	return unpad(pt, aes.BlockSize)
+}
+
+// Uint64 encrypts a 64-bit integer as a single 64-bit block: one round of
+// CBC with the 64-bit PRP, ct = E(pt XOR iv64). iv64 is derived from the
+// row IV so that integer and string columns can share the stored IV.
+func Uint64(key, iv []byte, pt uint64) (uint64, error) {
+	if len(iv) != IVSize {
+		return 0, fmt.Errorf("rnd: IV must be %d bytes, got %d", IVSize, len(iv))
+	}
+	c := feistel.New(prf.Sum(key, []byte("rnd-int")))
+	return c.Encrypt(pt ^ binary.BigEndian.Uint64(iv[:8])), nil
+}
+
+// DecryptUint64 inverts Uint64.
+func DecryptUint64(key, iv []byte, ct uint64) (uint64, error) {
+	if len(iv) != IVSize {
+		return 0, fmt.Errorf("rnd: IV must be %d bytes, got %d", IVSize, len(iv))
+	}
+	c := feistel.New(prf.Sum(key, []byte("rnd-int")))
+	return c.Decrypt(ct) ^ binary.BigEndian.Uint64(iv[:8]), nil
+}
+
+func pad(pt []byte, size int) []byte {
+	n := size - len(pt)%size
+	return append(append([]byte{}, pt...), bytes.Repeat([]byte{byte(n)}, n)...)
+}
+
+func unpad(pt []byte, size int) ([]byte, error) {
+	if len(pt) == 0 {
+		return nil, errors.New("rnd: empty plaintext after decryption")
+	}
+	n := int(pt[len(pt)-1])
+	if n == 0 || n > size || n > len(pt) {
+		return nil, errors.New("rnd: bad padding")
+	}
+	for _, b := range pt[len(pt)-n:] {
+		if int(b) != n {
+			return nil, errors.New("rnd: bad padding")
+		}
+	}
+	return pt[:len(pt)-n], nil
+}

@@ -1,0 +1,156 @@
+package rnd
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func mustIV(t *testing.T) []byte {
+	t.Helper()
+	iv, err := NewIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iv
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	key := []byte("key")
+	iv := mustIV(t)
+	f := func(pt []byte) bool {
+		ct, err := Bytes(key, iv, pt)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptBytes(key, iv, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesProbabilistic(t *testing.T) {
+	// Same plaintext under two fresh IVs must produce different
+	// ciphertexts — the core RND security property.
+	key := []byte("key")
+	pt := []byte("secret value")
+	ct1, err := Bytes(key, mustIV(t), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := Bytes(key, mustIV(t), pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("equal ciphertexts under fresh IVs")
+	}
+}
+
+func TestBytesEmptyPlaintext(t *testing.T) {
+	key, iv := []byte("key"), mustIV(t)
+	ct, err := Bytes(key, iv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecryptBytes(key, iv, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %q, want empty", got)
+	}
+}
+
+func TestBytesBadIV(t *testing.T) {
+	if _, err := Bytes([]byte("k"), []byte("short"), []byte("x")); err == nil {
+		t.Fatal("want error for short IV")
+	}
+	if _, err := DecryptBytes([]byte("k"), []byte("short"), make([]byte, 16)); err == nil {
+		t.Fatal("want error for short IV on decrypt")
+	}
+}
+
+func TestDecryptBytesBadLength(t *testing.T) {
+	iv := mustIV(t)
+	if _, err := DecryptBytes([]byte("k"), iv, []byte("not-a-block")); err == nil {
+		t.Fatal("want error for non-block-aligned ciphertext")
+	}
+	if _, err := DecryptBytes([]byte("k"), iv, nil); err == nil {
+		t.Fatal("want error for empty ciphertext")
+	}
+}
+
+func TestDecryptBytesWrongKey(t *testing.T) {
+	iv := mustIV(t)
+	ct, err := Bytes([]byte("k1"), iv, []byte("hello world, longer than a block...."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecryptBytes([]byte("k2"), iv, ct)
+	if err == nil && bytes.Equal(got, []byte("hello world, longer than a block....")) {
+		t.Fatal("wrong key decrypted to the plaintext")
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	key := []byte("key")
+	iv := mustIV(t)
+	f := func(v uint64) bool {
+		ct, err := Uint64(key, iv, v)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptUint64(key, iv, ct)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64Probabilistic(t *testing.T) {
+	key := []byte("key")
+	ct1, err := Uint64(key, mustIV(t), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := Uint64(key, mustIV(t), 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct1 == ct2 {
+		t.Fatal("equal integer ciphertexts under fresh IVs")
+	}
+}
+
+func TestUint64CiphertextIs64Bits(t *testing.T) {
+	// The whole point of the 64-bit PRP (Blowfish in the paper) is that
+	// integer RND ciphertexts stay 8 bytes; the API returning uint64
+	// makes that structural, so just confirm the IV requirement.
+	if _, err := Uint64([]byte("k"), []byte{1, 2}, 7); err == nil {
+		t.Fatal("want error for short IV")
+	}
+}
+
+func TestNewIVFresh(t *testing.T) {
+	a, err := NewIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two fresh IVs identical")
+	}
+	if len(a) != IVSize {
+		t.Fatalf("IV length %d, want %d", len(a), IVSize)
+	}
+}

@@ -1,0 +1,157 @@
+// Package search implements CryptDB's SEARCH layer (§3.1), the encrypted
+// keyword search protocol of Song, Wagner and Perrig applied the way the
+// paper applies it: the proxy splits text into keywords, removes duplicates,
+// randomly permutes the word positions, pads every word to a fixed size and
+// encrypts each word; LIKE "%word%" becomes a server-side UDF that checks an
+// encrypted token against each stored word without learning the word.
+//
+// Per the paper, the only information the server learns from a search is
+// which rows matched the requested token, plus the number of keywords
+// stored per row.
+package search
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/crypto/prf"
+)
+
+// WordSize is the padded size every keyword is encrypted to, hiding word
+// lengths.
+const WordSize = 16
+
+// saltSize is the per-occurrence randomness prepended to each encrypted word.
+const saltSize = 8
+
+// EntrySize is the on-server size of one encrypted keyword.
+const EntrySize = saltSize + WordSize
+
+// Cipher encrypts keyword sets for one column. It is safe for concurrent use.
+type Cipher struct {
+	key []byte
+}
+
+// New derives a Cipher from arbitrary key material.
+func New(key []byte) *Cipher {
+	return &Cipher{key: prf.Sum(key, []byte("search"))}
+}
+
+// Token is the trapdoor the proxy hands the server for one search word. The
+// server cannot invert it to the word.
+type Token []byte
+
+// Keywords splits text into search keywords using standard delimiters,
+// lower-casing and deduplicating, mirroring the proxy's default keyword
+// extraction. Applications may substitute their own extractor (§3.1).
+func Keywords(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9')
+	})
+	seen := make(map[string]bool, len(fields))
+	var out []string
+	for _, f := range fields {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// EncryptText splits text into unique keywords, pseudo-randomly permutes
+// them and encrypts each, returning the blob stored in the Search onion.
+func (c *Cipher) EncryptText(text string) ([]byte, error) {
+	return c.EncryptWords(Keywords(text))
+}
+
+// EncryptWords encrypts an explicit keyword list (for schemas that disable
+// duplicate removal / reordering, the caller controls the list).
+func (c *Cipher) EncryptWords(words []string) ([]byte, error) {
+	// Random permutation of positions: sort by a keyed hash of the word
+	// plus fresh randomness so the stored order reveals nothing.
+	perm := make([]string, len(words))
+	copy(perm, words)
+	var shuffleSeed [8]byte
+	if _, err := rand.Read(shuffleSeed[:]); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	sort.Slice(perm, func(i, j int) bool {
+		hi := prf.SumUint64(c.key, []byte("perm"), shuffleSeed[:], []byte(perm[i]))
+		hj := prf.SumUint64(c.key, []byte("perm"), shuffleSeed[:], []byte(perm[j]))
+		return hi < hj
+	})
+
+	buf := make([]byte, 0, len(perm)*EntrySize)
+	for _, w := range perm {
+		entry, err := c.encryptWord(w)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, entry...)
+	}
+	return buf, nil
+}
+
+// encryptWord produces salt || MAC(token(w), salt), padded-word-keyed. The
+// construction follows the practical variant of Song et al.: the stored
+// entry can be tested against a token but reveals neither the word nor
+// whether two rows share words (fresh salt per occurrence).
+func (c *Cipher) encryptWord(w string) ([]byte, error) {
+	salt := make([]byte, saltSize)
+	if _, err := rand.Read(salt); err != nil {
+		return nil, fmt.Errorf("search: %w", err)
+	}
+	tok := c.TokenFor(w)
+	mac := prf.Sum(tok, salt)[:WordSize]
+	return append(salt, mac...), nil
+}
+
+// TokenFor computes the search trapdoor for a word. Only the proxy (key
+// holder) can produce tokens.
+func (c *Cipher) TokenFor(word string) Token {
+	padded := padWord(strings.ToLower(word))
+	return prf.Sum(c.key, []byte("word"), padded)
+}
+
+// Match reports whether the encrypted blob contains the word behind token.
+// This is the computation CryptDB's searchSWP UDF performs on the server;
+// note it needs no key.
+func Match(blob []byte, token Token) bool {
+	if len(blob)%EntrySize != 0 {
+		return false
+	}
+	found := 0
+	for off := 0; off+EntrySize <= len(blob); off += EntrySize {
+		salt := blob[off : off+saltSize]
+		mac := blob[off+saltSize : off+EntrySize]
+		want := prf.Sum(token, salt)[:WordSize]
+		// Constant-time per entry; scan all entries regardless.
+		found |= subtle.ConstantTimeCompare(mac, want)
+	}
+	return found == 1
+}
+
+// WordCount reports the number of keywords stored in a blob — exactly the
+// leakage the paper acknowledges for SEARCH.
+func WordCount(blob []byte) int { return len(blob) / EntrySize }
+
+func padWord(w string) []byte {
+	b := []byte(w)
+	if len(b) > WordSize-2 {
+		b = b[:WordSize-2]
+	}
+	padded := make([]byte, WordSize)
+	binary.BigEndian.PutUint16(padded[:2], uint16(len(b)))
+	copy(padded[2:], b)
+	return padded
+}
+
+// Probe is a helper for tests: true if two blobs are byte-identical (they
+// should never be, for probabilistic SEARCH).
+func Probe(a, b []byte) bool { return bytes.Equal(a, b) }

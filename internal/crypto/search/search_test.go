@@ -1,0 +1,158 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchPresentWord(t *testing.T) {
+	c := New([]byte("key"))
+	blob, err := c.EncryptText("the quick brown fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"the", "quick", "brown", "fox"} {
+		if !Match(blob, c.TokenFor(w)) {
+			t.Errorf("token for present word %q did not match", w)
+		}
+	}
+}
+
+func TestNoMatchAbsentWord(t *testing.T) {
+	c := New([]byte("key"))
+	blob, err := c.EncryptText("the quick brown fox")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"dog", "quic", "foxx", ""} {
+		if Match(blob, c.TokenFor(w)) {
+			t.Errorf("token for absent word %q matched", w)
+		}
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	c := New([]byte("key"))
+	blob, err := c.EncryptText("Alice sent a Message")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Match(blob, c.TokenFor("ALICE")) {
+		t.Error("search should be case-insensitive")
+	}
+	if !Match(blob, c.TokenFor("message")) {
+		t.Error("search should be case-insensitive")
+	}
+}
+
+func TestDuplicateRemoval(t *testing.T) {
+	c := New([]byte("key"))
+	blob, err := c.EncryptText("spam spam spam eggs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := WordCount(blob); got != 2 {
+		t.Fatalf("WordCount = %d, want 2 (duplicates removed)", got)
+	}
+}
+
+func TestProbabilisticBlob(t *testing.T) {
+	// Two encryptions of the same text must differ (fresh salts and a
+	// fresh permutation), so the server cannot tell rows share words.
+	c := New([]byte("key"))
+	b1, err := c.EncryptText("hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.EncryptText("hello world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Probe(b1, b2) {
+		t.Fatal("identical blobs across encryptions")
+	}
+}
+
+func TestKeySeparation(t *testing.T) {
+	c1 := New([]byte("key1"))
+	c2 := New([]byte("key2"))
+	blob, err := c1.EncryptText("secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Match(blob, c2.TokenFor("secret")) {
+		t.Fatal("token from a different key matched")
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	c := New([]byte("key"))
+	blob, err := c.EncryptText("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != 0 {
+		t.Fatalf("blob for empty text = %d bytes, want 0", len(blob))
+	}
+	if Match(blob, c.TokenFor("anything")) {
+		t.Fatal("match against empty blob")
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	got := Keywords("Hello, WORLD! hello... 42 foo-bar")
+	want := []string{"hello", "world", "42", "foo", "bar"}
+	if len(got) != len(want) {
+		t.Fatalf("Keywords = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keywords = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLongWordsTruncated(t *testing.T) {
+	c := New([]byte("key"))
+	long := strings.Repeat("x", 100)
+	blob, err := c.EncryptText(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Match(blob, c.TokenFor(long)) {
+		t.Fatal("long word should match its own token")
+	}
+}
+
+func TestEntrySizeUniform(t *testing.T) {
+	// Every word, short or long, occupies EntrySize bytes — hiding
+	// word lengths per §3.1.
+	c := New([]byte("key"))
+	blob, err := c.EncryptText("a extraordinarily")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) != 2*EntrySize {
+		t.Fatalf("blob = %d bytes, want %d", len(blob), 2*EntrySize)
+	}
+}
+
+func TestMatchMalformedBlob(t *testing.T) {
+	c := New([]byte("key"))
+	if Match([]byte{1, 2, 3}, c.TokenFor("x")) {
+		t.Fatal("malformed blob matched")
+	}
+}
+
+func TestEncryptWordsExplicitOrderDisabled(t *testing.T) {
+	// Schemas can disable dedup/permutation by passing explicit word
+	// lists (§3.1); the blob then contains each occurrence.
+	c := New([]byte("key"))
+	blob, err := c.EncryptWords([]string{"a", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WordCount(blob) != 3 {
+		t.Fatalf("WordCount = %d, want 3", WordCount(blob))
+	}
+}

@@ -1,0 +1,379 @@
+package mp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqldb"
+	"repro/internal/sqlparser"
+)
+
+// ActiveTable is the special table applications write to at login/logout
+// (§4.2): INSERT INTO cryptdb_active (username, password) logs a user in,
+// DELETE FROM cryptdb_active WHERE username = '...' logs her out. The proxy
+// intercepts these statements; passwords never reach the DBMS.
+const ActiveTable = "cryptdb_active"
+
+// Execute runs one application SQL statement through the multi-principal
+// layer: principal declarations, login/logout interception, speaks-for
+// maintenance on writes, then the ordinary encrypted-query pipeline.
+func (m *Manager) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return m.ExecuteStmt(st, params...)
+}
+
+// ExecuteStmt runs a pre-parsed statement.
+func (m *Manager) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
+	switch s := st.(type) {
+	case *sqlparser.PrincTypeStmt:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for _, n := range s.Names {
+			m.princTypes[n] = true
+			if s.External {
+				m.external[n] = true
+			}
+		}
+		return &sqldb.Result{}, nil
+
+	case *sqlparser.CreateTableStmt:
+		res, err := m.p.ExecuteStmt(s, params...)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if err := m.registerAnnotations(s); err != nil {
+			return nil, err
+		}
+		return res, nil
+
+	case *sqlparser.InsertStmt:
+		if s.Table == ActiveTable {
+			return m.handleActiveInsert(s, params)
+		}
+		// Grants are processed before the row lands so that an ENC FOR
+		// column in the same row (HotCRP's PaperReview, Figure 6) finds
+		// its principal's key already chained. Per §4.2, creating an
+		// access_keys row requires the delegated principal's key to be
+		// obtainable now — new principals are minted here.
+		m.mu.Lock()
+		err := m.processInsertGrants(s, params)
+		m.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("mp: maintaining speaks-for on insert: %w", err)
+		}
+		return m.p.ExecuteStmt(s, params...)
+
+	case *sqlparser.DeleteStmt:
+		if s.Table == ActiveTable {
+			return m.handleActiveDelete(s, params)
+		}
+		m.mu.Lock()
+		rows, revokeErr := m.rowsForRevocation(s, params)
+		m.mu.Unlock()
+		if revokeErr != nil {
+			return nil, revokeErr
+		}
+		res, err := m.p.ExecuteStmt(s, params...)
+		if err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for _, row := range rows {
+			if err := m.processRowEdges(s.Table, row, m.revoke); err != nil {
+				return nil, fmt.Errorf("mp: revoking speaks-for: %w", err)
+			}
+		}
+		return res, nil
+
+	default:
+		return m.p.ExecuteStmt(st, params...)
+	}
+}
+
+// registerAnnotations validates and indexes a table's SPEAKS FOR rules.
+func (m *Manager) registerAnnotations(s *sqlparser.CreateTableStmt) error {
+	for _, cd := range s.Cols {
+		if cd.EncFor != nil && !m.princTypes[cd.EncFor.PrincType] {
+			return fmt.Errorf("mp: ENC FOR uses undeclared principal type %q", cd.EncFor.PrincType)
+		}
+	}
+	for _, sf := range s.SpeaksFor {
+		if !m.princTypes[sf.AType] {
+			return fmt.Errorf("mp: SPEAKS FOR uses undeclared principal type %q", sf.AType)
+		}
+		if !m.princTypes[sf.BType] {
+			return fmt.Errorf("mp: SPEAKS FOR uses undeclared principal type %q", sf.BType)
+		}
+		m.speaksFor[s.Name] = append(m.speaksFor[s.Name], sf)
+		if t2, _, ok := splitQualified(sf.AColumn); ok {
+			m.reverse[t2] = append(m.reverse[t2], reverseRule{table: s.Name, annot: sf})
+		}
+	}
+	return nil
+}
+
+func splitQualified(col string) (table, column string, ok bool) {
+	i := strings.IndexByte(col, '.')
+	if i < 0 {
+		return "", "", false
+	}
+	return col[:i], col[i+1:], true
+}
+
+//
+// Login / logout interception.
+//
+
+func (m *Manager) handleActiveInsert(s *sqlparser.InsertStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	uIdx, pIdx := -1, -1
+	for i, c := range s.Columns {
+		switch c {
+		case "username":
+			uIdx = i
+		case "password":
+			pIdx = i
+		}
+	}
+	if uIdx < 0 || pIdx < 0 {
+		return nil, fmt.Errorf("mp: %s insert must set username and password", ActiveTable)
+	}
+	for _, row := range s.Rows {
+		u, err := sqldb.EvalConst(row[uIdx], params)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := sqldb.EvalConst(row[pIdx], params)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.login(u.String(), pw.String()); err != nil {
+			return nil, err
+		}
+	}
+	return &sqldb.Result{Affected: len(s.Rows)}, nil
+}
+
+func (m *Manager) handleActiveDelete(s *sqlparser.DeleteStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	// Expect WHERE username = '...'.
+	be, ok := s.Where.(*sqlparser.BinaryExpr)
+	if !ok || be.Op != "=" {
+		return nil, fmt.Errorf("mp: %s delete must be WHERE username = ...", ActiveTable)
+	}
+	cr, ok := be.L.(*sqlparser.ColRef)
+	if !ok || cr.Column != "username" {
+		return nil, fmt.Errorf("mp: %s delete must be WHERE username = ...", ActiveTable)
+	}
+	u, err := sqldb.EvalConst(be.R, params)
+	if err != nil {
+		return nil, err
+	}
+	m.Logout(u.String())
+	return &sqldb.Result{Affected: 1}, nil
+}
+
+//
+// SPEAKS FOR maintenance.
+//
+
+// processInsertGrants applies the table's annotations to freshly inserted
+// rows, and — for rules of the form (T2.col type) SPEAKS FOR ... — applies
+// rules on other tables that reference this table.
+func (m *Manager) processInsertGrants(s *sqlparser.InsertStmt, params []sqldb.Value) error {
+	for _, exprRow := range s.Rows {
+		row := make(map[string]sqldb.Value, len(s.Columns))
+		for i, col := range s.Columns {
+			v, err := sqldb.EvalConst(exprRow[i], params)
+			if err != nil {
+				return err
+			}
+			row[col] = v
+		}
+		if err := m.processRowEdges(s.Table, row, m.grant); err != nil {
+			return err
+		}
+		// Reverse rules: inserting into T2 (e.g. PCMember) grants the
+		// new T2 principal access over existing rows of the annotated
+		// table (e.g. PaperReview).
+		for _, rr := range m.reverse[s.Table] {
+			if err := m.applyReverseRule(rr, row, params); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// processRowEdges evaluates each annotation of a table against one row and
+// applies fn (grant or revoke) for edges whose predicate holds.
+func (m *Manager) processRowEdges(table string, row map[string]sqldb.Value, fn func(grantee, target pid) error) error {
+	for _, sf := range m.speaksFor[table] {
+		target, ok := principalFromRow(sf.BColumn, sf.BType, row)
+		if !ok {
+			continue
+		}
+		switch {
+		case sf.AConst != "":
+			if holds, err := m.predicateHolds(sf.If, row); err != nil {
+				return err
+			} else if !holds {
+				continue
+			}
+			if err := fn(pid{ptype: sf.AType, name: sf.AConst}, target); err != nil {
+				return err
+			}
+		case strings.Contains(sf.AColumn, "."):
+			// (T2.col type) SPEAKS FOR ...: grant for every principal
+			// in T2.col, evaluating the predicate per T2 row.
+			t2, col, _ := splitQualified(sf.AColumn)
+			res, err := m.p.Execute("SELECT " + col + " FROM " + t2)
+			if err != nil {
+				return fmt.Errorf("mp: reading %s for %s: %w", t2, sf.AColumn, err)
+			}
+			for _, r2 := range res.Rows {
+				env := copyRow(row)
+				env[col] = r2[0]
+				if holds, err := m.predicateHolds(sf.If, env); err != nil {
+					return err
+				} else if !holds {
+					continue
+				}
+				if err := fn(pid{ptype: sf.AType, name: r2[0].String()}, target); err != nil {
+					return err
+				}
+			}
+		default:
+			grantee, ok := principalFromRow(sf.AColumn, sf.AType, row)
+			if !ok {
+				continue
+			}
+			if holds, err := m.predicateHolds(sf.If, row); err != nil {
+				return err
+			} else if !holds {
+				continue
+			}
+			if err := fn(grantee, target); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyReverseRule handles an insert into T2 for a rule
+// (T2.col type) SPEAKS FOR (b btype) IF pred living on another table: the
+// new principal gains access to every existing row of the annotated table.
+func (m *Manager) applyReverseRule(rr reverseRule, t2row map[string]sqldb.Value, params []sqldb.Value) error {
+	_, col, _ := splitQualified(rr.annot.AColumn)
+	av, ok := t2row[col]
+	if !ok {
+		return nil
+	}
+	grantee := pid{ptype: rr.annot.AType, name: av.String()}
+
+	res, err := m.p.Execute("SELECT " + rr.annot.BColumn + " FROM " + rr.table)
+	if err != nil {
+		// The annotated table may not exist yet.
+		return nil
+	}
+	for _, r := range res.Rows {
+		env := copyRow(t2row)
+		env[rr.annot.BColumn] = r[0]
+		if holds, err := m.predicateHolds(rr.annot.If, env); err != nil {
+			return err
+		} else if !holds {
+			continue
+		}
+		if err := m.grant(grantee, pid{ptype: rr.annot.BType, name: r[0].String()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowsForRevocation reads the rows a DELETE will remove from a table with
+// SPEAKS FOR annotations, before the delete executes.
+func (m *Manager) rowsForRevocation(s *sqlparser.DeleteStmt, params []sqldb.Value) ([]map[string]sqldb.Value, error) {
+	if len(m.speaksFor[s.Table]) == 0 {
+		return nil, nil
+	}
+	sel := &sqlparser.SelectStmt{
+		Exprs: []sqlparser.SelectExpr{{Star: true}},
+		From:  []sqlparser.TableRef{{Table: s.Table}},
+		Where: s.Where,
+	}
+	res, err := m.p.ExecuteStmt(sel, params...)
+	if err != nil {
+		return nil, err
+	}
+	var rows []map[string]sqldb.Value
+	for _, r := range res.Rows {
+		row := make(map[string]sqldb.Value, len(res.Columns))
+		for i, c := range res.Columns {
+			row[c] = r[i]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// predicateHolds evaluates a SPEAKS FOR ... IF predicate against row
+// values. Function predicates (NoConflict) dispatch to registered Go
+// predicates; anything else evaluates as a SQL expression over the row.
+func (m *Manager) predicateHolds(e sqlparser.Expr, row map[string]sqldb.Value) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	if fc, ok := e.(*sqlparser.FuncCall); ok {
+		fn, ok := m.predicates[fc.Name]
+		if !ok {
+			return false, fmt.Errorf("mp: predicate %s is not registered", fc.Name)
+		}
+		args := make([]sqldb.Value, len(fc.Args))
+		for i, a := range fc.Args {
+			v, err := sqldb.EvalExpr(a, rowLookup(row), nil)
+			if err != nil {
+				return false, err
+			}
+			args[i] = v
+		}
+		return fn(args)
+	}
+	v, err := sqldb.EvalExpr(e, rowLookup(row), nil)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+func rowLookup(row map[string]sqldb.Value) func(table, col string) (sqldb.Value, error) {
+	return func(table, col string) (sqldb.Value, error) {
+		if v, ok := row[col]; ok {
+			return v, nil
+		}
+		return sqldb.Value{}, fmt.Errorf("mp: predicate references unknown column %s", col)
+	}
+}
+
+func principalFromRow(col, ptype string, row map[string]sqldb.Value) (pid, bool) {
+	v, ok := row[col]
+	if !ok || v.IsNull() {
+		return pid{}, false
+	}
+	return pid{ptype: ptype, name: v.String()}, true
+}
+
+func copyRow(row map[string]sqldb.Value) map[string]sqldb.Value {
+	out := make(map[string]sqldb.Value, len(row)+1)
+	for k, v := range row {
+		out[k] = v
+	}
+	return out
+}

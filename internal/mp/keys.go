@@ -1,0 +1,103 @@
+// Package mp implements CryptDB's multi-principal mode (§4): chaining
+// encryption keys to user passwords so that each data item can be decrypted
+// only through a chain of keys rooted in the password of a user with access
+// to it. It consumes the schema annotations of §4.1 (PRINCTYPE, ENC FOR,
+// SPEAKS FOR ... IF), maintains the server-side key tables of §4.2
+// (access_keys, public_keys, external_keys), and enforces that an adversary
+// holding everything on the servers — but no logged-in user's password —
+// can decrypt nothing.
+package mp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypto/prf"
+)
+
+// symKeySize is the size of every principal's symmetric key.
+const symKeySize = 32
+
+// kdf derives a key-wrapping key from an external user's password (§4.2:
+// external principals' keys are encrypted with the principal's password).
+// Iterated hashing stands in for a tunable password KDF.
+func kdf(password string, salt []byte) []byte {
+	k := prf.Sum(salt, []byte("cryptdb-password-kdf"), []byte(password))
+	for i := 0; i < 1000; i++ {
+		k = prf.Sum(k, salt)
+	}
+	return k
+}
+
+// wrapSym encrypts payload under a symmetric key with AES-256-GCM.
+func wrapSym(key, payload []byte) ([]byte, error) {
+	block, err := aes.NewCipher(prf.Sum(key, []byte("wrap")))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, gcm.Seal(nil, nonce, payload, nil)...), nil
+}
+
+// unwrapSym inverts wrapSym.
+func unwrapSym(key, blob []byte) ([]byte, error) {
+	block, err := aes.NewCipher(prf.Sum(key, []byte("wrap")))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < gcm.NonceSize() {
+		return nil, errors.New("mp: wrapped blob too short")
+	}
+	pt, err := gcm.Open(nil, blob[:gcm.NonceSize()], blob[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, fmt.Errorf("mp: unwrap failed: %w", err)
+	}
+	return pt, nil
+}
+
+// wrapAsym encrypts a principal key under another principal's RSA public
+// key — used when the grantee is offline at grant time (§4.2: "CryptDB
+// looks up the public key of the principal ... and encrypts message 5's key
+// using user 1's public key").
+func wrapAsym(pub *rsa.PublicKey, payload []byte) ([]byte, error) {
+	return rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, payload, []byte("cryptdb-asym"))
+}
+
+func unwrapAsym(priv *rsa.PrivateKey, blob []byte) ([]byte, error) {
+	pt, err := rsa.DecryptOAEP(sha256.New(), rand.Reader, priv, blob, []byte("cryptdb-asym"))
+	if err != nil {
+		return nil, fmt.Errorf("mp: asymmetric unwrap failed: %w", err)
+	}
+	return pt, nil
+}
+
+func marshalPub(pub *rsa.PublicKey) []byte    { return x509.MarshalPKCS1PublicKey(pub) }
+func marshalPriv(priv *rsa.PrivateKey) []byte { return x509.MarshalPKCS1PrivateKey(priv) }
+
+func parsePub(b []byte) (*rsa.PublicKey, error)   { return x509.ParsePKCS1PublicKey(b) }
+func parsePriv(b []byte) (*rsa.PrivateKey, error) { return x509.ParsePKCS1PrivateKey(b) }
+
+func newSymKey() ([]byte, error) {
+	k := make([]byte, symKeySize)
+	if _, err := rand.Read(k); err != nil {
+		return nil, err
+	}
+	return k, nil
+}

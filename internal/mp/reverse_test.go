@@ -1,0 +1,147 @@
+package mp
+
+import (
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// setupHotCRP builds the Figure 6 schema with a live NoConflict predicate.
+func setupHotCRP(t *testing.T) *Manager {
+	t.Helper()
+	m := newManager(t)
+	m.RegisterPredicate("NoConflict", func(args []sqldb.Value) (bool, error) {
+		res, err := m.Execute("SELECT COUNT(*) FROM PaperConflict WHERE paperId = ? AND contactId = ?", args[0], args[1])
+		if err != nil {
+			return false, err
+		}
+		return res.Rows[0][0].I == 0, nil
+	})
+	for _, q := range []string{
+		"PRINCTYPE physical_user EXTERNAL",
+		"PRINCTYPE contact, review",
+		`CREATE TABLE ContactInfo (contactId INT, email VARCHAR(120),
+			(email physical_user) SPEAKS FOR (contactId contact))`,
+		"CREATE TABLE PaperConflict (paperId INT, contactId INT)",
+		"CREATE TABLE PCMember (contactId INT)",
+		`CREATE TABLE PaperReview (paperId INT,
+			reviewerId INT ENC FOR (paperId review),
+			commentsToPC TEXT ENC FOR (paperId review),
+			(PCMember.contactId contact) SPEAKS FOR (paperId review) IF NoConflict(paperId, contactId))`,
+	} {
+		mustExec(t, m, q)
+	}
+	return m
+}
+
+// TestReverseRuleGrantsOnMembershipInsert: a PC member added *after*
+// reviews exist gains access to the existing non-conflicted reviews (the
+// T2.col rule applied in reverse).
+func TestReverseRuleGrantsOnMembershipInsert(t *testing.T) {
+	m := setupHotCRP(t)
+
+	// Reviewer 1 is on the PC and writes a review of paper 3.
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('r1@x', 'pw1')")
+	mustExec(t, m, "INSERT INTO ContactInfo (contactId, email) VALUES (1, 'r1@x')")
+	mustExec(t, m, "INSERT INTO PCMember (contactId) VALUES (1)")
+	mustExec(t, m, "INSERT INTO PaperReview (paperId, reviewerId, commentsToPC) VALUES (3, 1, 'accept')")
+
+	// Contact 2 joins the PC afterwards (no conflict with paper 3).
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('r2@x', 'pw2')")
+	mustExec(t, m, "INSERT INTO ContactInfo (contactId, email) VALUES (2, 'r2@x')")
+	mustExec(t, m, "INSERT INTO PCMember (contactId) VALUES (2)")
+
+	// Original reviewer logs out; the new member alone can read.
+	mustExec(t, m, "DELETE FROM cryptdb_active WHERE username = 'r1@x'")
+	res := mustExec(t, m, "SELECT commentsToPC FROM PaperReview WHERE paperId = 3")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "accept" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestReverseRuleHonorsPredicate: a conflicted late joiner gets nothing.
+func TestReverseRuleHonorsPredicate(t *testing.T) {
+	m := setupHotCRP(t)
+
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('r1@x', 'pw1')")
+	mustExec(t, m, "INSERT INTO ContactInfo (contactId, email) VALUES (1, 'r1@x')")
+	mustExec(t, m, "INSERT INTO PCMember (contactId) VALUES (1)")
+	mustExec(t, m, "INSERT INTO PaperReview (paperId, reviewerId, commentsToPC) VALUES (3, 1, 'accept')")
+
+	// Contact 9 is conflicted with paper 3 and joins late.
+	mustExec(t, m, "INSERT INTO PaperConflict (paperId, contactId) VALUES (3, 9)")
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('r9@x', 'pw9')")
+	mustExec(t, m, "INSERT INTO ContactInfo (contactId, email) VALUES (9, 'r9@x')")
+	mustExec(t, m, "INSERT INTO PCMember (contactId) VALUES (9)")
+
+	mustExec(t, m, "DELETE FROM cryptdb_active WHERE username = 'r1@x'")
+	if _, err := m.Execute("SELECT commentsToPC FROM PaperReview WHERE paperId = 3"); err == nil {
+		t.Fatal("conflicted late joiner decrypted a review")
+	}
+}
+
+// TestGroupChain exercises a two-hop delegation chain: user -> group ->
+// forum (the Figure 5 shape).
+func TestGroupChain(t *testing.T) {
+	m := newManager(t)
+	for _, q := range []string{
+		"PRINCTYPE physical_user EXTERNAL",
+		"PRINCTYPE puser, grp, fpost",
+		`CREATE TABLE users3 (uid INT, uname TEXT, (uname physical_user) SPEAKS FOR (uid puser))`,
+		`CREATE TABLE usergroup (uid INT, gid INT, (uid puser) SPEAKS FOR (gid grp))`,
+		`CREATE TABLE aclgroups (gid INT, fid INT, optionid INT,
+			(gid grp) SPEAKS FOR (fid fpost) IF optionid = 20)`,
+		`CREATE TABLE posts3 (pid INT, fid INT, body TEXT ENC FOR (fid fpost))`,
+	} {
+		mustExec(t, m, q)
+	}
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('alice', 'pw')")
+	mustExec(t, m, "INSERT INTO users3 (uid, uname) VALUES (1, 'alice')")
+	mustExec(t, m, "INSERT INTO usergroup (uid, gid) VALUES (1, 77)")
+	mustExec(t, m, "INSERT INTO aclgroups (gid, fid, optionid) VALUES (77, 5, 20)")
+	mustExec(t, m, "INSERT INTO posts3 (pid, fid, body) VALUES (1, 5, 'forum five content')")
+
+	// Chain: alice -> puser:1 -> grp:77 -> fpost:5.
+	res := mustExec(t, m, "SELECT body FROM posts3 WHERE pid = 1")
+	if res.Rows[0][0].S != "forum five content" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	// Removing the group membership cuts the chain.
+	mustExec(t, m, "DELETE FROM usergroup WHERE uid = 1")
+	mustExec(t, m, "DELETE FROM cryptdb_active WHERE username = 'alice'")
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('alice', 'pw')")
+	if _, err := m.Execute("SELECT body FROM posts3 WHERE pid = 1"); err == nil {
+		t.Fatal("post readable after membership revocation")
+	}
+}
+
+// TestInlinePredicateOverRow checks non-function IF predicates evaluate
+// against the inserted row's values.
+func TestInlinePredicateOverRow(t *testing.T) {
+	m := newManager(t)
+	for _, q := range []string{
+		"PRINCTYPE physical_user EXTERNAL",
+		"PRINCTYPE doc",
+		`CREATE TABLE shares (docid INT, uname TEXT, level INT,
+			('admin' physical_user) SPEAKS FOR (docid doc) IF level >= 2)`,
+		`CREATE TABLE docs (docid INT, content TEXT ENC FOR (docid doc))`,
+	} {
+		mustExec(t, m, q)
+	}
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('admin', 'pw')")
+	// level 1: no grant; the document principal is freshly minted during
+	// the docs insert and unreachable afterwards.
+	mustExec(t, m, "INSERT INTO shares (docid, uname, level) VALUES (10, 'x', 1)")
+	mustExec(t, m, "INSERT INTO docs (docid, content) VALUES (10, 'locked away')")
+	if _, err := m.Execute("SELECT content FROM docs WHERE docid = 10"); err == nil {
+		t.Fatal("level-1 share should not grant")
+	}
+	// level 2 on a fresh doc: grant applies.
+	mustExec(t, m, "INSERT INTO shares (docid, uname, level) VALUES (11, 'x', 2)")
+	mustExec(t, m, "INSERT INTO docs (docid, content) VALUES (11, 'readable')")
+	res := mustExec(t, m, "SELECT content FROM docs WHERE docid = 11")
+	if res.Rows[0][0].S != "readable" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,55 @@
+package mp
+
+import "testing"
+
+// TestUpdateEncForColumn exercises the read-modify-write path for
+// multi-principal columns: the proxy must fetch each row's owner, then
+// re-encrypt the new constant under that principal's key.
+func TestUpdateEncForColumn(t *testing.T) {
+	m := setupPhpBB(t)
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('Alice', 'pw')")
+	mustExec(t, m, "INSERT INTO users (userid, username) VALUES (1, 'Alice')")
+	mustExec(t, m, "INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (5, 1, 1)")
+	mustExec(t, m, "INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (6, 1, 1)")
+	mustExec(t, m, "INSERT INTO privmsgs (msgid, subject, msgtext) VALUES (5, 'a', 'old five')")
+	mustExec(t, m, "INSERT INTO privmsgs (msgid, subject, msgtext) VALUES (6, 'b', 'old six')")
+
+	res := mustExec(t, m, "UPDATE privmsgs SET msgtext = 'edited body' WHERE msgid = 5")
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	got := mustExec(t, m, "SELECT msgtext FROM privmsgs WHERE msgid = 5")
+	if got.Rows[0][0].S != "edited body" {
+		t.Fatalf("rows = %v", got.Rows)
+	}
+	// The sibling row is untouched.
+	got = mustExec(t, m, "SELECT msgtext FROM privmsgs WHERE msgid = 6")
+	if got.Rows[0][0].S != "old six" {
+		t.Fatalf("rows = %v", got.Rows)
+	}
+
+	// The edited value is still bound to the message principal: after
+	// logout it is unreadable.
+	mustExec(t, m, "DELETE FROM cryptdb_active WHERE username = 'Alice'")
+	if _, err := m.Execute("SELECT msgtext FROM privmsgs WHERE msgid = 5"); err == nil {
+		t.Fatal("edited message readable after logout")
+	}
+}
+
+// TestDeleteEncForRows confirms deletes work on tables with ENC FOR columns
+// (predicates touch only the plain/single-principal columns).
+func TestDeleteEncForRows(t *testing.T) {
+	m := setupPhpBB(t)
+	mustExec(t, m, "INSERT INTO cryptdb_active (username, password) VALUES ('Alice', 'pw')")
+	mustExec(t, m, "INSERT INTO users (userid, username) VALUES (1, 'Alice')")
+	mustExec(t, m, "INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (5, 1, 1)")
+	mustExec(t, m, "INSERT INTO privmsgs (msgid, subject, msgtext) VALUES (5, 's', 'body')")
+	res := mustExec(t, m, "DELETE FROM privmsgs WHERE msgid = 5")
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	got := mustExec(t, m, "SELECT COUNT(*) FROM privmsgs")
+	if got.Rows[0][0].I != 0 {
+		t.Fatalf("count = %v", got.Rows[0][0])
+	}
+}

@@ -1,0 +1,212 @@
+package proxy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/onion"
+	"repro/internal/sqldb"
+)
+
+func TestTypeCoercionInPredicates(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	// String literal against an integer column must encrypt the integer.
+	res := mustExec(t, p, "SELECT name FROM employees WHERE id = '2'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Integer literal against a text column must encrypt the string form.
+	mustExec(t, p, "CREATE TABLE codes (code TEXT)")
+	mustExec(t, p, "INSERT INTO codes (code) VALUES ('7')")
+	res = mustExec(t, p, "SELECT COUNT(*) FROM codes WHERE code = 7")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	// Arithmetic over constants folds before encryption.
+	res := mustExec(t, p, "SELECT name FROM employees WHERE id = 1 + 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, p, "SELECT name FROM employees WHERE salary > 50000 + 10000")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestNotPredicates(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	res := mustExec(t, p, "SELECT COUNT(*) FROM employees WHERE NOT dept = 'eng'")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, p, "SELECT COUNT(*) FROM employees WHERE id NOT IN (2, 3)")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, p, "SELECT COUNT(*) FROM employees WHERE salary NOT BETWEEN 0 AND 60000")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestOPEDomainError(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE t (a INT)")
+	// Values beyond ±2^39 cannot be OPE-encoded; insertion fails with a
+	// clear error rather than silently corrupting order.
+	if _, err := p.Execute("INSERT INTO t (a) VALUES (?)", sqldb.Int(1<<41)); err == nil {
+		t.Fatal("want OPE domain error")
+	} else if !strings.Contains(err.Error(), "OPE domain") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestMinMaxOnTextRejected(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	if _, err := p.Execute("SELECT MIN(name) FROM employees"); err == nil {
+		t.Fatal("MIN over text should be rejected (string OPE is not invertible)")
+	}
+}
+
+func TestSumOnTextRejected(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	if _, err := p.Execute("SELECT SUM(name) FROM employees"); err == nil {
+		t.Fatal("SUM over text should be rejected")
+	}
+}
+
+func TestGroupByOrderByCount(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	res := mustExec(t, p, "SELECT dept, COUNT(*) FROM employees GROUP BY dept ORDER BY COUNT(*) DESC LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][1].I != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSelectTableDotStar(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	mustExec(t, p, "CREATE TABLE depts (dname TEXT, floor INT)")
+	mustExec(t, p, "INSERT INTO depts (dname, floor) VALUES ('eng', 2)")
+	res := mustExec(t, p, "SELECT d.* FROM employees e JOIN depts d ON e.dept = d.dname WHERE e.id = 3")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 2 || res.Rows[0][1].I != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestEncForWithoutMPFails(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE t (owner INT, secret TEXT ENC FOR (owner acct))")
+	if _, err := p.Execute("INSERT INTO t (owner, secret) VALUES (1, 'x')"); err == nil {
+		t.Fatal("ENC FOR without multi-principal mode should fail")
+	}
+}
+
+func TestMixedPlainEncryptedComparisonRejected(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE t (a INT PLAIN, b INT)")
+	mustExec(t, p, "INSERT INTO t (a, b) VALUES (1, 1)")
+	if _, err := p.Execute("SELECT COUNT(*) FROM t WHERE a = b"); err == nil {
+		t.Fatal("plain-vs-encrypted comparison should be rejected")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	mustExec(t, p, "SELECT id FROM employees WHERE name = 'Alice'")
+	mustExec(t, p, "SELECT name FROM employees ORDER BY salary")
+	st := p.Stats()
+	if st.Queries == 0 || st.OnionAdjustments == 0 || st.InProxySorts == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReportAfterWorkload(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	mustExec(t, p, "SELECT id FROM employees WHERE name = 'Alice'")
+	mustExec(t, p, "SELECT name FROM employees WHERE salary > 1000")
+	mustExec(t, p, "SELECT SUM(salary) FROM employees")
+
+	var nameR, salR, deptR ColumnReport
+	for _, r := range p.Report() {
+		switch r.Column {
+		case "name":
+			nameR = r
+		case "salary":
+			salR = r
+		case "dept":
+			deptR = r
+		}
+	}
+	if nameR.MinEnc != onion.DET {
+		t.Fatalf("name MinEnc = %s", nameR.MinEnc)
+	}
+	if salR.MinEnc != onion.OPE || !salR.NeedsHOM {
+		t.Fatalf("salary report = %+v", salR)
+	}
+	if deptR.MinEnc != onion.RND || !deptR.High {
+		t.Fatalf("dept report = %+v", deptR)
+	}
+}
+
+func TestJoinThenInsertBothColumns(t *testing.T) {
+	// Inserts into *both* columns of an adjusted join group must use the
+	// group key, or future joins would silently miss rows.
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE l (v TEXT)")
+	mustExec(t, p, "CREATE TABLE r (v TEXT)")
+	mustExec(t, p, "INSERT INTO l (v) VALUES ('a')")
+	mustExec(t, p, "INSERT INTO r (v) VALUES ('a')")
+	res := mustExec(t, p, "SELECT COUNT(*) FROM l JOIN r ON l.v = r.v")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	mustExec(t, p, "INSERT INTO l (v) VALUES ('b')")
+	mustExec(t, p, "INSERT INTO r (v) VALUES ('b')")
+	res = mustExec(t, p, "SELECT COUNT(*) FROM l JOIN r ON l.v = r.v")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("count after inserts = %v", res.Rows[0][0])
+	}
+}
+
+func TestUpdateMixedAssignments(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	// One constant set and one increment in the same statement.
+	mustExec(t, p, "UPDATE employees SET dept = 'ops', salary = salary + 1 WHERE id = 5")
+	res := mustExec(t, p, "SELECT dept, salary FROM employees WHERE id = 5")
+	if res.Rows[0][0].S != "ops" || res.Rows[0][1].I != 50001 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestDeleteByRange(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	res := mustExec(t, p, "DELETE FROM employees WHERE salary < 56000")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+}
+
+func TestInsertNullAndReadBack(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE t (a INT, b TEXT)")
+	mustExec(t, p, "INSERT INTO t (a, b) VALUES (NULL, NULL)")
+	res := mustExec(t, p, "SELECT a, b FROM t")
+	if !res.Rows[0][0].IsNull() || !res.Rows[0][1].IsNull() {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

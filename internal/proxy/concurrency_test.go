@@ -1,0 +1,111 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// TestConcurrentQueriesDuringAdjustment hammers the proxy from many
+// goroutines while onion adjustments race with steady-state queries; every
+// result must still be exact. Run with -race in CI.
+func TestConcurrentQueriesDuringAdjustment(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE acct (id INT PRIMARY KEY, owner TEXT, bal INT)")
+	const rows = 40
+	for i := 0; i < rows; i++ {
+		mustExec(t, p, "INSERT INTO acct (id, owner, bal) VALUES (?, ?, ?)",
+			sqldb.Int(int64(i)), sqldb.Text(fmt.Sprintf("owner-%d", i%5)), sqldb.Int(int64(i*100)))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch (g + i) % 4 {
+				case 0: // equality (forces DET adjustment on first use)
+					res, err := p.Execute("SELECT bal FROM acct WHERE id = ?", sqldb.Int(int64(i%rows)))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(res.Rows) != 1 || res.Rows[0][0].I != int64((i%rows)*100) {
+						errs <- fmt.Errorf("bad equality result: %v", res.Rows)
+						return
+					}
+				case 1: // range (forces OPE adjustment)
+					if _, err := p.Execute("SELECT id FROM acct WHERE bal > ?", sqldb.Int(2000)); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // aggregation over HOM
+					res, err := p.Execute("SELECT COUNT(*) FROM acct WHERE owner = ?", sqldb.Text("owner-1"))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Rows[0][0].I != rows/5 {
+						errs <- fmt.Errorf("bad count: %v", res.Rows[0][0])
+						return
+					}
+				case 3: // projection only
+					if _, err := p.Execute("SELECT owner FROM acct WHERE id = ?", sqldb.Int(int64(i%rows))); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Global invariant after the storm.
+	res := mustExec(t, p, "SELECT SUM(bal) FROM acct")
+	want := int64(0)
+	for i := 0; i < rows; i++ {
+		want += int64(i * 100)
+	}
+	if res.Rows[0][0].I != want {
+		t.Fatalf("sum = %v, want %d", res.Rows[0][0], want)
+	}
+}
+
+// TestConcurrentInserts checks rid allocation and index maintenance under
+// parallel writers.
+func TestConcurrentInserts(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE log (k INT, msg TEXT)")
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if _, err := p.Execute("INSERT INTO log (k, msg) VALUES (?, ?)",
+					sqldb.Int(int64(g*1000+i)), sqldb.Text("entry")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res := mustExec(t, p, "SELECT COUNT(*) FROM log")
+	if res.Rows[0][0].I != 200 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,186 @@
+package proxy
+
+import (
+	"fmt"
+
+	"repro/internal/onion"
+	"repro/internal/sqlparser"
+)
+
+// createTable registers a logical table and creates its anonymized
+// counterpart at the DBMS: opaque table/column names, one server column per
+// onion, an IV column, and a hidden row id the proxy uses to address rows
+// (Figure 3's data layout).
+func (p *Proxy) createTable(st *sqlparser.CreateTableStmt) error {
+	if _, exists := p.tables[st.Name]; exists {
+		return fmt.Errorf("proxy: table %s already exists", st.Name)
+	}
+	p.nTab++
+	tm := &TableMeta{
+		Logical:   st.Name,
+		Anon:      fmt.Sprintf("table%d", p.nTab),
+		byName:    make(map[string]*ColumnMeta),
+		SpeaksFor: st.SpeaksFor,
+		nextRid:   1,
+	}
+
+	anon := &sqlparser.CreateTableStmt{Name: tm.Anon}
+	anon.Cols = append(anon.Cols, sqlparser.ColumnDef{
+		Name: "rid", Type: sqlparser.TypeInt, Primary: true,
+	})
+
+	for i, cd := range st.Cols {
+		cm := &ColumnMeta{
+			Logical: cd.Name,
+			Anon:    fmt.Sprintf("c%d", i+1),
+			Type:    cd.Type,
+			Plain:   cd.Plain,
+			EncFor:  cd.EncFor,
+			Primary: cd.Primary,
+			Table:   tm,
+			Onions:  make(map[onion.Onion]*onion.State),
+			Stale:   make(map[onion.Onion]bool),
+		}
+		cm.joinGroup = cm
+		if cd.MinEnc != "" {
+			l, err := onion.LayerFromString(cd.MinEnc)
+			if err != nil {
+				return fmt.Errorf("proxy: column %s.%s: %w", st.Name, cd.Name, err)
+			}
+			cm.MinEnc = l
+		}
+		tm.Cols = append(tm.Cols, cm)
+		tm.byName[cd.Name] = cm
+
+		switch {
+		case cd.Plain:
+			anon.Cols = append(anon.Cols, sqlparser.ColumnDef{Name: cm.Anon, Type: cd.Type})
+		case cd.EncFor != nil:
+			// Multi-principal column: a single RND-under-principal-key
+			// blob; no server computation is possible on it (§4.2).
+			anon.Cols = append(anon.Cols, sqlparser.ColumnDef{Name: cm.mpCol(), Type: sqlparser.TypeBlob})
+		default:
+			for _, o := range p.plannedOnions(st.Name, cm) {
+				cm.Onions[o] = onion.NewState(onion.StackFor(o, cd.Type))
+				anon.Cols = append(anon.Cols, sqlparser.ColumnDef{
+					Name: cm.onionCol(o),
+					Type: cm.serverType(o),
+				})
+			}
+			anon.Cols = append(anon.Cols, sqlparser.ColumnDef{Name: cm.ivCol(), Type: sqlparser.TypeBlob})
+		}
+	}
+
+	if _, err := p.db.Exec(anon); err != nil {
+		return fmt.Errorf("proxy: creating anonymized table: %w", err)
+	}
+	p.tables[st.Name] = tm
+
+	// Validate ENC FOR owner columns exist.
+	for _, cm := range tm.Cols {
+		if cm.EncFor != nil && tm.byName[cm.EncFor.OwnerColumn] == nil {
+			return fmt.Errorf("proxy: ENC FOR owner column %s.%s does not exist",
+				st.Name, cm.EncFor.OwnerColumn)
+		}
+	}
+	return nil
+}
+
+// createIndex remembers the application's index request and materializes
+// indexes on the onion layers that support them. Per §3.3, indexes are
+// built on DET/JOIN/OPE ciphertexts but never on RND/HOM/SEARCH; since our
+// DBMS substrate provides hash (equality) indexes, the proxy indexes the Eq
+// onion once it is at DET and the JAdj onion once joins expose it.
+func (p *Proxy) createIndex(st *sqlparser.CreateIndexStmt) error {
+	tm, ok := p.tables[st.Table]
+	if !ok {
+		return fmt.Errorf("proxy: no table %s", st.Table)
+	}
+	cm := tm.Col(st.Column)
+	if cm == nil {
+		return fmt.Errorf("proxy: no column %s.%s", st.Table, st.Column)
+	}
+	if cm.Plain {
+		_, err := p.db.Exec(&sqlparser.CreateIndexStmt{
+			Name: st.Name, Table: tm.Anon, Column: cm.Anon, Unique: st.Unique,
+		})
+		return err
+	}
+	if cm.EncFor != nil {
+		return fmt.Errorf("proxy: cannot index multi-principal column %s.%s", st.Table, st.Column)
+	}
+	cm.wantIndex = true
+	cm.wantUnique = st.Unique
+	return p.materializeIndexes(cm)
+}
+
+// materializeIndexes creates server indexes for onions whose current layer
+// supports them.
+func (p *Proxy) materializeIndexes(cm *ColumnMeta) error {
+	if !cm.wantIndex {
+		return nil
+	}
+	if st := cm.Onions[onion.Eq]; st != nil && st.Current() == onion.DET && !cm.idxEq {
+		stmt := &sqlparser.CreateIndexStmt{
+			Name:   cm.Table.Anon + "_" + cm.Anon + "_eq_idx",
+			Table:  cm.Table.Anon,
+			Column: cm.onionCol(onion.Eq),
+			Unique: cm.wantUnique,
+		}
+		if _, err := p.db.Exec(stmt); err != nil {
+			return err
+		}
+		cm.idxEq = true
+	}
+	if st := cm.Onions[onion.JAdj]; st != nil && st.Current() == onion.JOIN && !cm.idxJadj {
+		stmt := &sqlparser.CreateIndexStmt{
+			Name:   cm.Table.Anon + "_" + cm.Anon + "_jadj_idx",
+			Table:  cm.Table.Anon,
+			Column: cm.onionCol(onion.JAdj),
+		}
+		if _, err := p.db.Exec(stmt); err != nil {
+			return err
+		}
+		cm.idxJadj = true
+	}
+	return nil
+}
+
+// DeclareOPEJoin declares ahead of time that two columns will participate
+// in range joins, giving their Ord onions a shared OPE key (§3.4: "CryptDB
+// requires that pairs of columns that will be involved in such joins be
+// declared by the application ahead of time"). Must be called before any
+// rows are inserted into either table.
+func (p *Proxy) DeclareOPEJoin(table1, col1, table2, col2 string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c1, err := p.lookupCol(table1, col1)
+	if err != nil {
+		return err
+	}
+	c2, err := p.lookupCol(table2, col2)
+	if err != nil {
+		return err
+	}
+	if p.db.Table(c1.Table.Anon).RowCount() > 0 || p.db.Table(c2.Table.Anon).RowCount() > 0 {
+		return fmt.Errorf("proxy: OPE-JOIN must be declared before data is inserted")
+	}
+	shared := p.mk.DeriveLabel("opejoin:" + table1 + "." + col1 + ":" + table2 + "." + col2)
+	c1.opeShared = shared
+	c2.opeShared = shared
+	c1.opeCipher = nil
+	c2.opeCipher = nil
+	return nil
+}
+
+func (p *Proxy) lookupCol(table, col string) (*ColumnMeta, error) {
+	tm, ok := p.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("proxy: no table %s", table)
+	}
+	cm := tm.Col(col)
+	if cm == nil {
+		return nil, fmt.Errorf("proxy: no column %s.%s", table, col)
+	}
+	return cm, nil
+}

@@ -1,0 +1,281 @@
+package proxy
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/crypto/hom"
+	"repro/internal/crypto/joinadj"
+	"repro/internal/crypto/keys"
+	"repro/internal/crypto/search"
+	"repro/internal/onion"
+	"repro/internal/sqldb"
+)
+
+// Options configures a Proxy.
+type Options struct {
+	// HOMBits is the Paillier modulus size; the paper's 1024 (2048-bit
+	// ciphertexts) is the default. Tests may shrink it.
+	HOMBits int
+	// HOMPrecompute pre-fills this many r^n values (§3.5.2); the paper
+	// uses 30,000.
+	HOMPrecompute int
+	// DisableOPECache turns off the OPE node cache (for the ablation
+	// benchmark reproducing the paper's 25 ms -> 7 ms improvement).
+	DisableOPECache bool
+	// DisableInProxySort sends ORDER BY without LIMIT to the server
+	// (revealing OPE) instead of sorting decrypted results in the proxy
+	// (§3.5.1). In-proxy sorting is the default, as in the paper's
+	// analysis.
+	DisableInProxySort bool
+	// Training makes the proxy analyze and record onion adjustments
+	// without encrypting or executing anything (§3.5.1 training mode).
+	Training bool
+	// Plan restricts which onions each column materializes (§3.5.2
+	// "known query set": discard onions that are not needed). Derive one
+	// with TrainPlan. Nil keeps every applicable onion.
+	Plan OnionPlan
+}
+
+// PrincipalCrypto is the hook the multi-principal layer (package mp)
+// installs to handle ENC FOR columns: values encrypted under per-principal
+// keys rather than the proxy master key (§4).
+type PrincipalCrypto interface {
+	// EncryptFor encrypts v for the principal (ptype, pname).
+	EncryptFor(ptype, pname, table, col string, v sqldb.Value) (sqldb.Value, error)
+	// DecryptFor decrypts a value encrypted for (ptype, pname), using
+	// only keys reachable from currently logged-in users.
+	DecryptFor(ptype, pname, table, col string, v sqldb.Value) (sqldb.Value, error)
+}
+
+// Stats counts proxy work for the evaluation harness.
+type Stats struct {
+	Queries          int64
+	OnionAdjustments int64
+	Resyncs          int64
+	InProxySorts     int64
+}
+
+// Proxy is a single-principal CryptDB proxy bound to one DBMS. Queries that
+// require no onion adjustment (the trained steady state) run under a read
+// lock and execute concurrently; adjustments serialize under the write
+// lock.
+type Proxy struct {
+	mu sync.RWMutex
+
+	db *sqldb.DB
+	mk *keys.Master
+
+	tables map[string]*TableMeta
+	nTab   int
+
+	homKey  *hom.Key
+	joinPRF []byte // K0 shared by all JOIN-ADJ columns (§3.4)
+
+	opts  Options
+	stats Stats
+
+	// training-mode log of would-be adjustments.
+	trainLog []TrainEvent
+
+	princ PrincipalCrypto
+}
+
+// TrainEvent records one onion adjustment or warning observed in training
+// mode (§3.5.1).
+type TrainEvent struct {
+	Table, Column string
+	Onion         onion.Onion
+	Layer         onion.Layer
+	Warning       string // non-empty for unsupported queries
+}
+
+// New creates a proxy in front of db with a fresh master key.
+func New(db *sqldb.DB, opts Options) (*Proxy, error) {
+	mk, err := keys.NewMaster()
+	if err != nil {
+		return nil, err
+	}
+	return NewWithMaster(db, mk, opts)
+}
+
+// NewWithMaster creates a proxy with explicit master key material.
+func NewWithMaster(db *sqldb.DB, mk *keys.Master, opts Options) (*Proxy, error) {
+	if opts.HOMBits == 0 {
+		opts.HOMBits = hom.DefaultBits
+	}
+	hk, err := hom.GenerateKey(opts.HOMBits)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	if opts.HOMPrecompute > 0 {
+		if err := hk.Precompute(opts.HOMPrecompute); err != nil {
+			return nil, fmt.Errorf("proxy: %w", err)
+		}
+	}
+	p := &Proxy{
+		db:      db,
+		mk:      mk,
+		tables:  make(map[string]*TableMeta),
+		homKey:  hk,
+		joinPRF: mk.DeriveLabel("joinadj-shared-prf"),
+		opts:    opts,
+	}
+	p.registerUDFs()
+	return p, nil
+}
+
+// DB exposes the underlying DBMS (the evaluation harness and tests inspect
+// server-visible state through it).
+func (p *Proxy) DB() *sqldb.DB { return p.db }
+
+// HOMKey exposes the Paillier key (package mp and benchmarks need the
+// public part).
+func (p *Proxy) HOMKey() *hom.Key { return p.homKey }
+
+// SetPrincipalCrypto installs the multi-principal hook.
+func (p *Proxy) SetPrincipalCrypto(pc PrincipalCrypto) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.princ = pc
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// TrainingLog returns the events recorded in training mode.
+func (p *Proxy) TrainingLog() []TrainEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]TrainEvent, len(p.trainLog))
+	copy(out, p.trainLog)
+	return out
+}
+
+// Table exposes a table's metadata (read-only use).
+func (p *Proxy) Table(logical string) *TableMeta {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tables[logical]
+}
+
+//
+// Server-side UDFs (§7: "we implement all server-side functionality with
+// UDFs and server-side tables").
+//
+
+func (p *Proxy) registerUDFs() {
+	// decrypt_rnd(key, ct, iv) strips one RND layer; works for both the
+	// 64-bit integer form and the byte form based on argument kind.
+	p.db.RegisterUDF("decrypt_rnd", udfDecryptRND)
+
+	// join_adj(val, delta) re-keys one JOIN-ADJ value (§3.4).
+	p.db.RegisterUDF("join_adj", func(args []sqldb.Value) (sqldb.Value, error) {
+		if len(args) != 2 {
+			return sqldb.Value{}, fmt.Errorf("join_adj: want 2 args")
+		}
+		if args[0].IsNull() {
+			return sqldb.Null(), nil
+		}
+		delta := new(big.Int).SetBytes(args[1].B)
+		out, err := joinadj.Adjust(args[0].B, delta)
+		if err != nil {
+			return sqldb.Value{}, err
+		}
+		return sqldb.Blob(out), nil
+	})
+
+	// searchswp(blob, token) implements encrypted LIKE (§3.1).
+	p.db.RegisterUDF("searchswp", func(args []sqldb.Value) (sqldb.Value, error) {
+		if len(args) != 2 {
+			return sqldb.Value{}, fmt.Errorf("searchswp: want 2 args")
+		}
+		if args[0].IsNull() {
+			return sqldb.Bool(false), nil
+		}
+		return sqldb.Bool(search.Match(args[0].B, search.Token(args[1].B))), nil
+	})
+
+	// hom_add(ct1, ct2) multiplies Paillier ciphertexts: the UPDATE
+	// ... SET x = x + k path (§3.3).
+	n2 := new(big.Int).Set(p.homKey.N2)
+	p.db.RegisterUDF("hom_add", func(args []sqldb.Value) (sqldb.Value, error) {
+		if len(args) != 2 {
+			return sqldb.Value{}, fmt.Errorf("hom_add: want 2 args")
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return sqldb.Null(), nil
+		}
+		a := new(big.Int).SetBytes(args[0].B)
+		b := new(big.Int).SetBytes(args[1].B)
+		a.Mul(a, b).Mod(a, n2)
+		return sqldb.Blob(fixedBytes(a, n2)), nil
+	})
+
+	// hom_sum(ct) aggregates a HOM column by ciphertext multiplication:
+	// the server-side SUM replacement (§3.1).
+	p.db.RegisterAggUDF("hom_sum", func() sqldb.AggState {
+		return &homSumState{acc: big.NewInt(1), n2: n2}
+	})
+}
+
+func fixedBytes(v, n2 *big.Int) []byte {
+	return v.FillBytes(make([]byte, (n2.BitLen()+7)/8))
+}
+
+type homSumState struct {
+	acc *big.Int
+	n2  *big.Int
+	any bool
+}
+
+func (s *homSumState) Step(args []sqldb.Value) error {
+	if len(args) != 1 {
+		return fmt.Errorf("hom_sum: want 1 arg")
+	}
+	if args[0].IsNull() {
+		return nil
+	}
+	c := new(big.Int).SetBytes(args[0].B)
+	s.acc.Mul(s.acc, c).Mod(s.acc, s.n2)
+	s.any = true
+	return nil
+}
+
+func (s *homSumState) Final() (sqldb.Value, error) {
+	if !s.any {
+		return sqldb.Null(), nil
+	}
+	return sqldb.Blob(fixedBytes(s.acc, s.n2)), nil
+}
+
+func udfDecryptRND(args []sqldb.Value) (sqldb.Value, error) {
+	if len(args) != 3 {
+		return sqldb.Value{}, fmt.Errorf("decrypt_rnd: want 3 args (key, ct, iv)")
+	}
+	key := args[0].B
+	if args[1].IsNull() || args[2].IsNull() {
+		return sqldb.Null(), nil
+	}
+	iv := args[2].B
+	switch args[1].Kind {
+	case sqldb.KindInt:
+		pt, err := rndDecryptUint64(key, iv, uint64(args[1].I))
+		if err != nil {
+			return sqldb.Value{}, err
+		}
+		return sqldb.Int(int64(pt)), nil
+	case sqldb.KindBlob:
+		pt, err := rndDecryptBytes(key, iv, args[1].B)
+		if err != nil {
+			return sqldb.Value{}, err
+		}
+		return sqldb.Blob(pt), nil
+	}
+	return sqldb.Value{}, fmt.Errorf("decrypt_rnd: unsupported ciphertext kind %s", args[1].Kind)
+}

@@ -1,0 +1,125 @@
+package proxy
+
+import (
+	"testing"
+
+	"repro/internal/onion"
+)
+
+func TestRaiseOnionEq(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+
+	// Expose DET via an equality query, then raise it back.
+	mustExec(t, p, "SELECT id FROM employees WHERE name = 'Alice'")
+	cm := p.Table("employees").Col("name")
+	if cm.Onions[onion.Eq].Current() != onion.DET {
+		t.Fatal("setup: Eq should be at DET")
+	}
+	if err := p.RaiseOnion("employees", "name", onion.Eq); err != nil {
+		t.Fatal(err)
+	}
+	if cm.Onions[onion.Eq].Current() != onion.RND {
+		t.Fatalf("Eq at %s after raise, want RND", cm.Onions[onion.Eq].Current())
+	}
+
+	// The column is fully functional: a later equality query re-adjusts
+	// and returns correct results.
+	res := mustExec(t, p, "SELECT id FROM employees WHERE name = 'Bob'")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// And plain projection still decrypts.
+	res = mustExec(t, p, "SELECT name FROM employees WHERE id = 3")
+	if res.Rows[0][0].S != "Carol" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestRaiseOnionOrd(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	mustExec(t, p, "SELECT name FROM employees WHERE salary > 60000")
+	cm := p.Table("employees").Col("salary")
+	if cm.Onions[onion.Ord].Current() != onion.OPE {
+		t.Fatal("setup: Ord should be at OPE")
+	}
+	if err := p.RaiseOnion("employees", "salary", onion.Ord); err != nil {
+		t.Fatal(err)
+	}
+	if cm.Onions[onion.Ord].Current() != onion.RND {
+		t.Fatal("Ord not raised")
+	}
+	res := mustExec(t, p, "SELECT name FROM employees WHERE salary BETWEEN 55000 AND 75000")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestRaiseOnionNoop(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	// Already at RND: raising is a no-op, not an error.
+	if err := p.RaiseOnion("employees", "name", onion.Eq); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown onion/table/column error paths.
+	if err := p.RaiseOnion("employees", "name", onion.Add); err == nil {
+		t.Fatal("want error for missing onion")
+	}
+	if err := p.RaiseOnion("nosuch", "name", onion.Eq); err == nil {
+		t.Fatal("want error for missing table")
+	}
+}
+
+func TestRaiseOnionWithNulls(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE t (a INT, b TEXT)")
+	mustExec(t, p, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)")
+	mustExec(t, p, "SELECT a FROM t WHERE b = 'x'")
+	if err := p.RaiseOnion("t", "b", onion.Eq); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, p, "SELECT a FROM t WHERE b IS NULL")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestRangeJoinDeclared(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE a (x INT)")
+	mustExec(t, p, "CREATE TABLE b (y INT)")
+	// Declared before load: both Ord onions share an OPE key (§3.4).
+	if err := p.DeclareOPEJoin("a", "x", "b", "y"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, p, "INSERT INTO a (x) VALUES (1), (5), (9)")
+	mustExec(t, p, "INSERT INTO b (y) VALUES (4), (6)")
+	res := mustExec(t, p, "SELECT COUNT(*) FROM a, b WHERE a.x < b.y")
+	// pairs: (1,4) (1,6) (5,6) = 3
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestRangeJoinUndeclaredFails(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE a (x INT)")
+	mustExec(t, p, "CREATE TABLE b (y INT)")
+	mustExec(t, p, "INSERT INTO a (x) VALUES (1)")
+	mustExec(t, p, "INSERT INTO b (y) VALUES (2)")
+	if _, err := p.Execute("SELECT COUNT(*) FROM a, b WHERE a.x < b.y"); err == nil {
+		t.Fatal("undeclared range join should fail (§3.4)")
+	}
+}
+
+func TestDeclareOPEJoinAfterLoadFails(t *testing.T) {
+	p := newTestProxy(t)
+	mustExec(t, p, "CREATE TABLE a (x INT)")
+	mustExec(t, p, "CREATE TABLE b (y INT)")
+	mustExec(t, p, "INSERT INTO a (x) VALUES (1)")
+	if err := p.DeclareOPEJoin("a", "x", "b", "y"); err == nil {
+		t.Fatal("declaring OPE-JOIN after data load should fail")
+	}
+}

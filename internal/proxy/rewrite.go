@@ -1,0 +1,624 @@
+package proxy
+
+import (
+	"fmt"
+
+	"repro/internal/onion"
+	"repro/internal/sqldb"
+	"repro/internal/sqlparser"
+)
+
+// decoder turns one server result row into one logical output value.
+type decoder func(row []sqldb.Value) (sqldb.Value, error)
+
+// selectPlan describes how to post-process and decrypt a server result.
+type selectPlan struct {
+	names     []string
+	decs      []decoder
+	sortKeys  []sortKeyPlan
+	havingDec decoder
+	limit     *int64
+	offset    *int64
+}
+
+type sortKeyPlan struct {
+	dec  decoder
+	desc bool
+}
+
+// planBuilder accumulates the server-side select list while handing out
+// decoders that reference it by index.
+type planBuilder struct {
+	p      *Proxy
+	qs     *qscope
+	params []sqldb.Value
+	srv    []sqlparser.SelectExpr
+	cache  map[string]decoder // logical "alias.col" -> fetch decoder
+}
+
+func newPlanBuilder(p *Proxy, qs *qscope, params []sqldb.Value) *planBuilder {
+	return &planBuilder{p: p, qs: qs, params: params, cache: map[string]decoder{}}
+}
+
+func (b *planBuilder) addServer(e sqlparser.Expr) int {
+	b.srv = append(b.srv, sqlparser.SelectExpr{Expr: e})
+	return len(b.srv) - 1
+}
+
+// colRef builds a server column reference, qualified with the anon alias
+// when the query has a FROM clause.
+func (b *planBuilder) colRef(alias, col string) sqlparser.Expr {
+	return &sqlparser.ColRef{Table: alias, Column: col}
+}
+
+// fetchCol returns a decoder producing the plaintext of one logical column.
+func (b *planBuilder) fetchCol(cm *ColumnMeta, alias string) (decoder, error) {
+	key := alias + "\x00" + cm.Logical
+	if dec, ok := b.cache[key]; ok {
+		return dec, nil
+	}
+	var dec decoder
+	switch {
+	case cm.Plain:
+		si := b.addServer(b.colRef(alias, cm.Anon))
+		dec = func(row []sqldb.Value) (sqldb.Value, error) { return row[si], nil }
+
+	case cm.EncFor != nil:
+		if b.p.princ == nil {
+			return nil, fmt.Errorf("proxy: column %s.%s is ENC FOR a principal; enable multi-principal mode",
+				cm.Table.Logical, cm.Logical)
+		}
+		owner := cm.Table.Col(cm.EncFor.OwnerColumn)
+		ownerDec, err := b.fetchCol(owner, alias)
+		if err != nil {
+			return nil, err
+		}
+		si := b.addServer(b.colRef(alias, cm.mpCol()))
+		ptype := cm.EncFor.PrincType
+		table, col := cm.Table.Logical, cm.Logical
+		dec = func(row []sqldb.Value) (sqldb.Value, error) {
+			ov, err := ownerDec(row)
+			if err != nil {
+				return sqldb.Value{}, err
+			}
+			return b.p.princ.DecryptFor(ptype, ov.String(), table, col, row[si])
+		}
+
+	case cm.Stale[onion.Eq]:
+		// Increment bypassed the other onions: read the up-to-date
+		// HOM value (§3.3 "projected after increment").
+		si := b.addServer(b.colRef(alias, cm.onionCol(onion.Add)))
+		dec = func(row []sqldb.Value) (sqldb.Value, error) {
+			return b.p.decryptAdd(cm, row[si])
+		}
+
+	default:
+		si := b.addServer(b.colRef(alias, cm.onionCol(onion.Eq)))
+		atRND := cm.Onions[onion.Eq].Current() == onion.RND
+		ivIdx := -1
+		if atRND {
+			ivIdx = b.addServer(b.colRef(alias, cm.ivCol()))
+		}
+		dec = func(row []sqldb.Value) (sqldb.Value, error) {
+			iv := sqldb.Null()
+			if ivIdx >= 0 {
+				iv = row[ivIdx]
+			}
+			return b.p.decryptEq(cm, row[si], iv)
+		}
+	}
+	b.cache[key] = dec
+	return dec, nil
+}
+
+// aggDecoder plans one aggregate call server-side and returns its decoder.
+func (b *planBuilder) aggDecoder(fc *sqlparser.FuncCall) (decoder, error) {
+	if fc.Name == "COUNT" {
+		srvFC := &sqlparser.FuncCall{Name: "COUNT", Star: fc.Star, Distinct: fc.Distinct}
+		if !fc.Star {
+			if len(fc.Args) != 1 {
+				return nil, fmt.Errorf("proxy: COUNT takes one argument")
+			}
+			cm, alias, err := b.resolveArg(fc.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if cm.Plain {
+				srvFC.Args = []sqlparser.Expr{b.colRef(alias, cm.Anon)}
+			} else {
+				srvFC.Args = []sqlparser.Expr{b.colRef(alias, cm.onionCol(onion.Eq))}
+			}
+		}
+		si := b.addServer(srvFC)
+		return func(row []sqldb.Value) (sqldb.Value, error) { return row[si], nil }, nil
+	}
+
+	if len(fc.Args) != 1 {
+		return nil, fmt.Errorf("proxy: %s takes one argument", fc.Name)
+	}
+	cm, alias, err := b.resolveArg(fc.Args[0])
+	if err != nil {
+		return nil, err
+	}
+
+	if cm.Plain {
+		si := b.addServer(&sqlparser.FuncCall{Name: fc.Name,
+			Args: []sqlparser.Expr{b.colRef(alias, cm.Anon)}})
+		return func(row []sqldb.Value) (sqldb.Value, error) { return row[si], nil }, nil
+	}
+
+	switch fc.Name {
+	case "SUM":
+		si := b.addServer(&sqlparser.FuncCall{Name: "hom_sum",
+			Args: []sqlparser.Expr{b.colRef(alias, cm.onionCol(onion.Add))}})
+		return func(row []sqldb.Value) (sqldb.Value, error) {
+			return b.p.decryptAdd(cm, row[si])
+		}, nil
+	case "AVG":
+		// AVG = decrypted SUM over COUNT, both computed server-side
+		// (§3.1: "HOM can also be used for computing averages by
+		// having the DBMS server return the sum and the count
+		// separately").
+		sumIdx := b.addServer(&sqlparser.FuncCall{Name: "hom_sum",
+			Args: []sqlparser.Expr{b.colRef(alias, cm.onionCol(onion.Add))}})
+		cntIdx := b.addServer(&sqlparser.FuncCall{Name: "COUNT",
+			Args: []sqlparser.Expr{b.colRef(alias, cm.onionCol(onion.Add))}})
+		return func(row []sqldb.Value) (sqldb.Value, error) {
+			sum, err := b.p.decryptAdd(cm, row[sumIdx])
+			if err != nil {
+				return sqldb.Value{}, err
+			}
+			if sum.IsNull() || row[cntIdx].I == 0 {
+				return sqldb.Null(), nil
+			}
+			return sqldb.Int(sum.I / row[cntIdx].I), nil
+		}, nil
+	case "MIN", "MAX":
+		si := b.addServer(&sqlparser.FuncCall{Name: fc.Name,
+			Args: []sqlparser.Expr{b.colRef(alias, cm.onionCol(onion.Ord))}})
+		return func(row []sqldb.Value) (sqldb.Value, error) {
+			return b.p.decryptOrd(cm, row[si])
+		}, nil
+	}
+	return nil, fmt.Errorf("proxy: unsupported aggregate %s", fc.Name)
+}
+
+func (b *planBuilder) resolveArg(e sqlparser.Expr) (*ColumnMeta, string, error) {
+	cr, ok := e.(*sqlparser.ColRef)
+	if !ok {
+		return nil, "", fmt.Errorf("proxy: aggregate over computed expression")
+	}
+	return b.qs.resolve(cr.Table, cr.Column)
+}
+
+// exprDecoder plans an arbitrary logical expression: columns are fetched
+// and decrypted, aggregates computed server-side, and the surrounding
+// arithmetic evaluated at the proxy (in-proxy processing, §3.5.1).
+func (b *planBuilder) exprDecoder(e sqlparser.Expr) (decoder, error) {
+	// Fast path: a bare column.
+	if cr, ok := e.(*sqlparser.ColRef); ok && cr.Column != "*" {
+		cm, alias, err := b.qs.resolve(cr.Table, cr.Column)
+		if err != nil {
+			return nil, err
+		}
+		return b.fetchCol(cm, alias)
+	}
+	if fc, ok := e.(*sqlparser.FuncCall); ok && isAggName(fc.Name) {
+		return b.aggDecoder(fc)
+	}
+
+	// General case: substitute placeholders for columns and aggregates,
+	// then evaluate the residue with EvalExpr per row.
+	subs := map[string]decoder{}
+	replaced, err := b.substitute(e, subs)
+	if err != nil {
+		return nil, err
+	}
+	params := b.params
+	return func(row []sqldb.Value) (sqldb.Value, error) {
+		return sqldb.EvalExpr(replaced, func(table, col string) (sqldb.Value, error) {
+			dec, ok := subs[table+"\x00"+col]
+			if !ok {
+				return sqldb.Value{}, fmt.Errorf("proxy: unresolved placeholder %s.%s", table, col)
+			}
+			return dec(row)
+		}, params)
+	}, nil
+}
+
+func isAggName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+// substitute rewrites e, replacing column references and aggregate calls
+// with placeholder refs resolved through subs.
+func (b *planBuilder) substitute(e sqlparser.Expr, subs map[string]decoder) (sqlparser.Expr, error) {
+	mkPlaceholder := func(dec decoder) sqlparser.Expr {
+		name := fmt.Sprintf("v%d", len(subs))
+		subs["__px\x00"+name] = dec
+		return &sqlparser.ColRef{Table: "__px", Column: name}
+	}
+	switch x := e.(type) {
+	case *sqlparser.ColRef:
+		cm, alias, err := b.qs.resolve(x.Table, x.Column)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := b.fetchCol(cm, alias)
+		if err != nil {
+			return nil, err
+		}
+		return mkPlaceholder(dec), nil
+	case *sqlparser.FuncCall:
+		if isAggName(x.Name) {
+			dec, err := b.aggDecoder(x)
+			if err != nil {
+				return nil, err
+			}
+			return mkPlaceholder(dec), nil
+		}
+		return nil, fmt.Errorf("proxy: function %s not computable", x.Name)
+	case *sqlparser.BinaryExpr:
+		l, err := b.substitute(x.L, subs)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.substitute(x.R, subs)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *sqlparser.UnaryExpr:
+		in, err := b.substitute(x.E, subs)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.UnaryExpr{Op: x.Op, E: in}, nil
+	case *sqlparser.IsNullExpr:
+		in, err := b.substitute(x.E, subs)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.IsNullExpr{E: in, Not: x.Not}, nil
+	case *sqlparser.IntLit, *sqlparser.StrLit, *sqlparser.BytesLit,
+		*sqlparser.NullLit, *sqlparser.BoolLit, *sqlparser.Param:
+		return e, nil
+	}
+	return nil, fmt.Errorf("proxy: cannot post-process %T", e)
+}
+
+//
+// Predicate rewriting.
+//
+
+// rewritePredicate transforms a logical predicate into its server-side
+// form: onion column references and encrypted constants (§3.3).
+func (p *Proxy) rewritePredicate(e sqlparser.Expr, qs *qscope, params []sqldb.Value, useAlias bool) (sqlparser.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	ref := func(cm *ColumnMeta, alias string, o onion.Onion) sqlparser.Expr {
+		col := cm.onionCol(o)
+		if cm.Plain {
+			col = cm.Anon
+		}
+		if !useAlias {
+			alias = ""
+		}
+		return &sqlparser.ColRef{Table: alias, Column: col}
+	}
+
+	switch x := e.(type) {
+	case *sqlparser.BinaryExpr:
+		if x.Op == "AND" || x.Op == "OR" {
+			l, err := p.rewritePredicate(x.L, qs, params, useAlias)
+			if err != nil {
+				return nil, err
+			}
+			r, err := p.rewritePredicate(x.R, qs, params, useAlias)
+			if err != nil {
+				return nil, err
+			}
+			return &sqlparser.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+		}
+		if isCmp(x.Op) {
+			lc, lAlias, lIsCol := resolvePure(x.L, qs)
+			rc, rAlias, rIsCol := resolvePure(x.R, qs)
+			switch {
+			case lIsCol && rIsCol:
+				if lc.Plain && rc.Plain {
+					return &sqlparser.BinaryExpr{Op: x.Op,
+						L: ref(lc, lAlias, ""), R: ref(rc, rAlias, "")}, nil
+				}
+				if lc.Plain != rc.Plain {
+					return nil, fmt.Errorf("proxy: cannot compare plain %s with encrypted column", x.Op)
+				}
+				if x.Op == "=" || x.Op == "!=" {
+					if lc == rc {
+						return &sqlparser.BinaryExpr{Op: x.Op,
+							L: ref(lc, lAlias, onion.Eq), R: ref(rc, rAlias, onion.Eq)}, nil
+					}
+					return &sqlparser.BinaryExpr{Op: x.Op,
+						L: ref(lc, lAlias, onion.JAdj), R: ref(rc, rAlias, onion.JAdj)}, nil
+				}
+				return &sqlparser.BinaryExpr{Op: x.Op,
+					L: ref(lc, lAlias, onion.Ord), R: ref(rc, rAlias, onion.Ord)}, nil
+
+			case lIsCol:
+				return p.rewriteColConst(lc, lAlias, x.Op, x.R, qs, params, useAlias, false)
+			case rIsCol:
+				return p.rewriteColConst(rc, rAlias, x.Op, x.L, qs, params, useAlias, true)
+			case isConstExpr(x.L, params) && isConstExpr(x.R, params):
+				// constant comparison; pass through
+				return e, nil
+			default:
+				// Computed comparison: only legal over plain columns
+				// (the analyzer rejects encrypted ones); rename refs.
+				return p.renamePlain(e, qs, useAlias)
+			}
+		}
+		// Arithmetic/bitwise over plain columns only (analysis rejects
+		// the encrypted case).
+		return p.renamePlain(e, qs, useAlias)
+
+	case *sqlparser.UnaryExpr:
+		in, err := p.rewritePredicate(x.E, qs, params, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.UnaryExpr{Op: x.Op, E: in}, nil
+
+	case *sqlparser.InExpr:
+		cm, alias, ok := resolvePure(x.E, qs)
+		if !ok {
+			return nil, fmt.Errorf("proxy: IN over non-column")
+		}
+		if cm.Plain {
+			return p.renamePlain(e, qs, useAlias)
+		}
+		out := &sqlparser.InExpr{E: ref(cm, alias, onion.Eq), Not: x.Not}
+		for _, item := range x.List {
+			v, err := sqldb.EvalConst(item, params)
+			if err != nil {
+				return nil, err
+			}
+			ct, err := p.encryptConstEq(cm, v)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, valueToExpr(ct))
+		}
+		return out, nil
+
+	case *sqlparser.LikeExpr:
+		cm, alias, ok := resolvePure(x.E, qs)
+		if !ok {
+			return nil, fmt.Errorf("proxy: LIKE over non-column")
+		}
+		if cm.Plain {
+			return p.renamePlain(e, qs, useAlias)
+		}
+		pat, err := sqldb.EvalConst(x.Pattern, params)
+		if err != nil {
+			return nil, err
+		}
+		word, ok := likeWord(valueToPatternString(pat))
+		if !ok {
+			return nil, fmt.Errorf("proxy: unsupported LIKE pattern")
+		}
+		token := p.searchCipher(cm).TokenFor(word)
+		call := &sqlparser.FuncCall{
+			Name: "searchswp",
+			Args: []sqlparser.Expr{ref(cm, alias, onion.Search), &sqlparser.BytesLit{V: token}},
+		}
+		if x.Not {
+			return &sqlparser.UnaryExpr{Op: "NOT", E: call}, nil
+		}
+		return call, nil
+
+	case *sqlparser.BetweenExpr:
+		cm, alias, ok := resolvePure(x.E, qs)
+		if !ok {
+			return nil, fmt.Errorf("proxy: BETWEEN over non-column")
+		}
+		if cm.Plain {
+			return p.renamePlain(e, qs, useAlias)
+		}
+		lo, err := sqldb.EvalConst(x.Lo, params)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := sqldb.EvalConst(x.Hi, params)
+		if err != nil {
+			return nil, err
+		}
+		loCt, err := p.encryptConstOrd(cm, lo)
+		if err != nil {
+			return nil, err
+		}
+		hiCt, err := p.encryptConstOrd(cm, hi)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BetweenExpr{
+			E: ref(cm, alias, onion.Ord), Lo: valueToExpr(loCt), Hi: valueToExpr(hiCt), Not: x.Not,
+		}, nil
+
+	case *sqlparser.IsNullExpr:
+		cm, alias, ok := resolvePure(x.E, qs)
+		if !ok {
+			return nil, fmt.Errorf("proxy: IS NULL over non-column")
+		}
+		var col sqlparser.Expr
+		switch {
+		case cm.Plain:
+			col = ref(cm, alias, "")
+		case cm.EncFor != nil:
+			a := alias
+			if !useAlias {
+				a = ""
+			}
+			col = &sqlparser.ColRef{Table: a, Column: cm.mpCol()}
+		default:
+			col = ref(cm, alias, onion.Eq)
+		}
+		return &sqlparser.IsNullExpr{E: col, Not: x.Not}, nil
+
+	case *sqlparser.IntLit, *sqlparser.StrLit, *sqlparser.BytesLit,
+		*sqlparser.NullLit, *sqlparser.BoolLit, *sqlparser.Param:
+		return e, nil
+	}
+	return nil, fmt.Errorf("proxy: cannot rewrite predicate %T", e)
+}
+
+func isCmp(op string) bool {
+	switch op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func resolvePure(e sqlparser.Expr, qs *qscope) (*ColumnMeta, string, bool) {
+	cr, ok := e.(*sqlparser.ColRef)
+	if !ok || cr.Column == "*" {
+		return nil, "", false
+	}
+	cm, alias, err := qs.resolve(cr.Table, cr.Column)
+	if err != nil {
+		return nil, "", false
+	}
+	return cm, alias, true
+}
+
+// rewriteColConst encrypts the constant side of a comparison under the
+// column's appropriate onion. flipped means the constant was on the left.
+func (p *Proxy) rewriteColConst(cm *ColumnMeta, alias, op string, constE sqlparser.Expr, qs *qscope, params []sqldb.Value, useAlias, flipped bool) (sqlparser.Expr, error) {
+	v, err := sqldb.EvalConst(constE, params)
+	if err != nil {
+		return nil, err
+	}
+	if !useAlias {
+		alias = ""
+	}
+	if cm.Plain {
+		l := sqlparser.Expr(&sqlparser.ColRef{Table: alias, Column: cm.Anon})
+		r := valueToExpr(v)
+		if flipped {
+			l, r = r, l
+		}
+		return &sqlparser.BinaryExpr{Op: op, L: l, R: r}, nil
+	}
+	var colE, constCt sqlparser.Expr
+	switch op {
+	case "=", "!=":
+		ct, err := p.encryptConstEq(cm, v)
+		if err != nil {
+			return nil, err
+		}
+		colE = &sqlparser.ColRef{Table: alias, Column: cm.onionCol(onion.Eq)}
+		constCt = valueToExpr(ct)
+	default:
+		ct, err := p.encryptConstOrd(cm, v)
+		if err != nil {
+			return nil, err
+		}
+		colE = &sqlparser.ColRef{Table: alias, Column: cm.onionCol(onion.Ord)}
+		constCt = valueToExpr(ct)
+	}
+	l, r := colE, constCt
+	if flipped {
+		// `const < col` must stay flipped to preserve semantics.
+		l, r = constCt, colE
+	}
+	return &sqlparser.BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+// renamePlain rewrites an expression that touches only plain columns,
+// renaming references to their anonymized server names.
+func (p *Proxy) renamePlain(e sqlparser.Expr, qs *qscope, useAlias bool) (sqlparser.Expr, error) {
+	switch x := e.(type) {
+	case *sqlparser.ColRef:
+		cm, alias, err := qs.resolve(x.Table, x.Column)
+		if err != nil {
+			return nil, err
+		}
+		if !cm.Plain {
+			return nil, fmt.Errorf("proxy: encrypted column %s.%s in unsupported position",
+				cm.Table.Logical, cm.Logical)
+		}
+		if !useAlias {
+			alias = ""
+		}
+		return &sqlparser.ColRef{Table: alias, Column: cm.Anon}, nil
+	case *sqlparser.BinaryExpr:
+		l, err := p.renamePlain(x.L, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.renamePlain(x.R, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *sqlparser.UnaryExpr:
+		in, err := p.renamePlain(x.E, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.UnaryExpr{Op: x.Op, E: in}, nil
+	case *sqlparser.InExpr:
+		out := &sqlparser.InExpr{Not: x.Not}
+		in, err := p.renamePlain(x.E, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		out.E = in
+		for _, item := range x.List {
+			ri, err := p.renamePlain(item, qs, useAlias)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, ri)
+		}
+		return out, nil
+	case *sqlparser.LikeExpr:
+		in, err := p.renamePlain(x.E, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := p.renamePlain(x.Pattern, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.LikeExpr{E: in, Pattern: pat, Not: x.Not}, nil
+	case *sqlparser.BetweenExpr:
+		in, err := p.renamePlain(x.E, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.renamePlain(x.Lo, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.renamePlain(x.Hi, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BetweenExpr{E: in, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case *sqlparser.IsNullExpr:
+		in, err := p.renamePlain(x.E, qs, useAlias)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.IsNullExpr{E: in, Not: x.Not}, nil
+	case *sqlparser.IntLit, *sqlparser.StrLit, *sqlparser.BytesLit,
+		*sqlparser.NullLit, *sqlparser.BoolLit, *sqlparser.Param:
+		return e, nil
+	}
+	return nil, fmt.Errorf("proxy: cannot rename %T", e)
+}

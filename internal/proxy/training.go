@@ -1,0 +1,111 @@
+package proxy
+
+import (
+	"repro/internal/onion"
+	"repro/internal/sqldb"
+)
+
+// OnionPlan records, per "table.column", which onions to materialize — the
+// §3.5.2 "known query set" optimization: after training on the
+// application's queries, onions that no query needs are discarded, saving
+// storage and encryption time. The Eq onion is always kept (it is the
+// decryption path for projections).
+type OnionPlan map[string][]onion.Onion
+
+// planKey builds the plan map key.
+func planKey(table, col string) string { return table + "." + col }
+
+// DerivePlan inspects the proxy's (typically training-mode) state and
+// returns the minimal onion set each column needs: Eq always, JAdj only if
+// a join adjusted it, Ord only if an order query exposed OPE, Add/Search
+// only if a query used them.
+func (p *Proxy) DerivePlan() OnionPlan {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	plan := make(OnionPlan)
+	for _, tm := range p.tables {
+		for _, cm := range tm.Cols {
+			if cm.Plain || cm.EncFor != nil {
+				continue
+			}
+			keep := []onion.Onion{onion.Eq}
+			if st := cm.Onions[onion.JAdj]; st != nil && st.Cur > 0 {
+				keep = append(keep, onion.JAdj)
+			}
+			if st := cm.Onions[onion.Ord]; st != nil && st.Cur > 0 {
+				keep = append(keep, onion.Ord)
+			}
+			if cm.UsedSum && cm.HasOnion(onion.Add) {
+				keep = append(keep, onion.Add)
+			}
+			if cm.UsedSearch && cm.HasOnion(onion.Search) {
+				keep = append(keep, onion.Search)
+			}
+			plan[planKey(tm.Logical, cm.Logical)] = keep
+		}
+	}
+	return plan
+}
+
+// TrainQuery is one query of a training trace.
+type TrainQuery struct {
+	SQL    string
+	Params []sqldb.Value
+}
+
+// TrainPlan runs schema DDL plus a query trace through a fresh
+// training-mode proxy and derives the onion plan — the developer workflow
+// of §3.5.1/§3.5.2: "the developer can use the training mode ... to adjust
+// onions to the correct layer a priori ... CryptDB can also discard onions
+// that are not needed".
+func TrainPlan(ddl []string, queries []TrainQuery) (OnionPlan, error) {
+	db := sqldb.New()
+	p, err := New(db, Options{HOMBits: 256, Training: true})
+	if err != nil {
+		return nil, err
+	}
+	for _, q := range ddl {
+		if _, err := p.Execute(q); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range queries {
+		if _, err := p.Execute(q.SQL, q.Params...); err != nil {
+			return nil, err
+		}
+	}
+	return p.DerivePlan(), nil
+}
+
+// plannedOnions returns the onions to materialize for a column, honoring
+// the configured plan (all applicable onions when unplanned).
+func (p *Proxy) plannedOnions(table string, cm *ColumnMeta) []onion.Onion {
+	all := onion.Onions(cm.Type)
+	if p.opts.Plan == nil {
+		return all
+	}
+	keep, ok := p.opts.Plan[planKey(table, cm.Logical)]
+	if !ok {
+		return all
+	}
+	var out []onion.Onion
+	for _, o := range all {
+		for _, k := range keep {
+			if o == k {
+				out = append(out, o)
+				break
+			}
+		}
+	}
+	// Eq is mandatory: it is how the proxy reads values back.
+	hasEq := false
+	for _, o := range out {
+		if o == onion.Eq {
+			hasEq = true
+		}
+	}
+	if !hasEq {
+		out = append([]onion.Onion{onion.Eq}, out...)
+	}
+	return out
+}

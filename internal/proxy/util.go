@@ -1,0 +1,12 @@
+package proxy
+
+import (
+	"math/big"
+
+	"repro/internal/crypto/rnd"
+)
+
+var bigOne = big.NewInt(1)
+
+// newIV draws a fresh per-row IV (the C*-IV columns of Figure 3).
+func newIV() ([]byte, error) { return rnd.NewIV() }

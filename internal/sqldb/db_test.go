@@ -1,0 +1,501 @@
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func mustExec(t *testing.T, db *DB, sql string, params ...Value) *Result {
+	t.Helper()
+	res, err := db.ExecSQL(sql, params...)
+	if err != nil {
+		t.Fatalf("ExecSQL(%q): %v", sql, err)
+	}
+	return res
+}
+
+func seedEmployees(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, "CREATE TABLE emp (id INT PRIMARY KEY, name TEXT, dept TEXT, salary INT)")
+	rows := []string{
+		"(1, 'Alice', 'sales', 60000)",
+		"(2, 'Bob', 'sales', 55000)",
+		"(3, 'Carol', 'eng', 80000)",
+		"(4, 'Dave', 'eng', 75000)",
+		"(5, 'Eve', 'hr', 50000)",
+	}
+	for _, r := range rows {
+		mustExec(t, db, "INSERT INTO emp (id, name, dept, salary) VALUES "+r)
+	}
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT id, name FROM emp WHERE name = 'Alice'")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Columns[1] != "name" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT * FROM emp WHERE id = 3")
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1].S != "Carol" {
+		t.Fatalf("row = %v", res.Rows[0])
+	}
+}
+
+func TestWherePredicates(t *testing.T) {
+	db := seedEmployees(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT id FROM emp WHERE salary > 60000", 2},
+		{"SELECT id FROM emp WHERE salary >= 60000", 3},
+		{"SELECT id FROM emp WHERE dept = 'sales' AND salary < 60000", 1},
+		{"SELECT id FROM emp WHERE dept = 'sales' OR dept = 'hr'", 3},
+		{"SELECT id FROM emp WHERE NOT dept = 'eng'", 3},
+		{"SELECT id FROM emp WHERE id IN (1, 3, 9)", 2},
+		{"SELECT id FROM emp WHERE id NOT IN (1, 3)", 3},
+		{"SELECT id FROM emp WHERE salary BETWEEN 55000 AND 75000", 3},
+		{"SELECT id FROM emp WHERE name LIKE 'A%'", 1},
+		{"SELECT id FROM emp WHERE name LIKE '%e'", 3}, // Alice, Dave, Eve
+		{"SELECT id FROM emp WHERE name LIKE '_ob'", 1},
+		{"SELECT id FROM emp WHERE id != 1", 4},
+	}
+	for _, c := range cases {
+		res := mustExec(t, db, c.sql)
+		if len(res.Rows) != c.want {
+			t.Errorf("%s: got %d rows, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestArithmeticInSelect(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT salary * 2 + 10 FROM emp WHERE id = 1")
+	if res.Rows[0][0].I != 120010 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT COUNT(*), SUM(salary), MIN(salary), MAX(salary), AVG(salary) FROM emp")
+	r := res.Rows[0]
+	if r[0].I != 5 || r[1].I != 320000 || r[2].I != 50000 || r[3].I != 80000 || r[4].I != 64000 {
+		t.Fatalf("aggregates = %v", r)
+	}
+}
+
+func TestAggregateEmptyTable(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INT)")
+	res := mustExec(t, db, "SELECT COUNT(*), SUM(a) FROM t")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 0 || !res.Rows[0][1].IsNull() {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0].S != "eng" || res.Rows[0][1].I != 2 || res.Rows[0][2].I != 155000 {
+		t.Fatalf("eng row = %v", res.Rows[0])
+	}
+	if res.Rows[1][0].S != "sales" {
+		t.Fatalf("second row = %v", res.Rows[1])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT COUNT(DISTINCT dept) FROM emp")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2")
+	if res.Rows[0][0].S != "Carol" || res.Rows[1][0].S != "Dave" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 2")
+	if res.Rows[0][0].S != "Alice" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByMultiple(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT name FROM emp ORDER BY dept, salary DESC")
+	want := []string{"Carol", "Dave", "Eve", "Alice", "Bob"}
+	for i, w := range want {
+		if res.Rows[i][0].S != w {
+			t.Fatalf("rows = %v, want %v", res.Rows, want)
+		}
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT salary * 2 AS double_pay, name FROM emp ORDER BY double_pay LIMIT 1")
+	if res.Rows[0][1].S != "Eve" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT DISTINCT dept FROM emp")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := seedEmployees(t)
+	mustExec(t, db, "CREATE TABLE dept_info (dept TEXT PRIMARY KEY, floor INT)")
+	mustExec(t, db, "INSERT INTO dept_info (dept, floor) VALUES ('sales', 1), ('eng', 2), ('hr', 3)")
+	res := mustExec(t, db, "SELECT e.name, d.floor FROM emp e JOIN dept_info d ON e.dept = d.dept WHERE e.id = 3")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Carol" || res.Rows[0][1].I != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestJoinUnindexed(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE a (x INT)")
+	mustExec(t, db, "CREATE TABLE b (y INT)")
+	mustExec(t, db, "INSERT INTO a (x) VALUES (1), (2), (3)")
+	mustExec(t, db, "INSERT INTO b (y) VALUES (2), (3), (4)")
+	res := mustExec(t, db, "SELECT a.x FROM a JOIN b ON a.x = b.y ORDER BY a.x")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 2 || res.Rows[1][0].I != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE a (id INT PRIMARY KEY, bv INT)")
+	mustExec(t, db, "CREATE TABLE b (id INT PRIMARY KEY, cv INT)")
+	mustExec(t, db, "CREATE TABLE c (id INT PRIMARY KEY, name TEXT)")
+	mustExec(t, db, "INSERT INTO a (id, bv) VALUES (1, 10)")
+	mustExec(t, db, "INSERT INTO b (id, cv) VALUES (10, 100)")
+	mustExec(t, db, "INSERT INTO c (id, name) VALUES (100, 'deep')")
+	res := mustExec(t, db, "SELECT c.name FROM a JOIN b ON a.bv = b.id JOIN c ON b.cv = c.id")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "deep" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestCrossJoinWithWhere(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE a (x INT)")
+	mustExec(t, db, "CREATE TABLE b (y INT)")
+	mustExec(t, db, "INSERT INTO a (x) VALUES (1), (2)")
+	mustExec(t, db, "INSERT INTO b (y) VALUES (2), (3)")
+	res := mustExec(t, db, "SELECT a.x, b.y FROM a, b WHERE a.x = b.y")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "UPDATE emp SET salary = salary + 1000 WHERE dept = 'sales'")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	check := mustExec(t, db, "SELECT salary FROM emp WHERE id = 1")
+	if check.Rows[0][0].I != 61000 {
+		t.Fatalf("salary = %v", check.Rows[0][0])
+	}
+}
+
+func TestUpdateIndexedColumn(t *testing.T) {
+	db := seedEmployees(t)
+	mustExec(t, db, "UPDATE emp SET id = 100 WHERE id = 1")
+	if res := mustExec(t, db, "SELECT name FROM emp WHERE id = 100"); len(res.Rows) != 1 {
+		t.Fatalf("index not maintained after update: %v", res.Rows)
+	}
+	if res := mustExec(t, db, "SELECT name FROM emp WHERE id = 1"); len(res.Rows) != 0 {
+		t.Fatalf("stale index entry: %v", res.Rows)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "DELETE FROM emp WHERE dept = 'eng'")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+	if db.Table("emp").RowCount() != 3 {
+		t.Fatalf("rows = %d", db.Table("emp").RowCount())
+	}
+	// Slot reuse after delete.
+	mustExec(t, db, "INSERT INTO emp (id, name, dept, salary) VALUES (9, 'Zed', 'ops', 1)")
+	if res := mustExec(t, db, "SELECT name FROM emp WHERE id = 9"); len(res.Rows) != 1 {
+		t.Fatalf("reinsert failed: %v", res.Rows)
+	}
+}
+
+func TestUniqueIndexViolation(t *testing.T) {
+	db := seedEmployees(t)
+	if _, err := db.ExecSQL("INSERT INTO emp (id, name, dept, salary) VALUES (1, 'Dup', 'x', 0)"); err == nil {
+		t.Fatal("want unique violation")
+	}
+}
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	db := seedEmployees(t)
+	mustExec(t, db, "CREATE INDEX idx_dept ON emp (dept)")
+	res := mustExec(t, db, "SELECT COUNT(*) FROM emp WHERE dept = 'sales'")
+	if res.Rows[0][0].I != 2 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestTransactionsCommit(t *testing.T) {
+	db := seedEmployees(t)
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "INSERT INTO emp (id, name, dept, salary) VALUES (10, 'Tx', 'ops', 1)")
+	mustExec(t, db, "COMMIT")
+	if res := mustExec(t, db, "SELECT id FROM emp WHERE id = 10"); len(res.Rows) != 1 {
+		t.Fatal("committed row missing")
+	}
+}
+
+func TestTransactionsRollback(t *testing.T) {
+	db := seedEmployees(t)
+	mustExec(t, db, "BEGIN")
+	mustExec(t, db, "INSERT INTO emp (id, name, dept, salary) VALUES (10, 'Tx', 'ops', 1)")
+	mustExec(t, db, "UPDATE emp SET salary = 0 WHERE id = 1")
+	mustExec(t, db, "DELETE FROM emp WHERE id = 2")
+	mustExec(t, db, "ROLLBACK")
+	if res := mustExec(t, db, "SELECT id FROM emp WHERE id = 10"); len(res.Rows) != 0 {
+		t.Fatal("rolled-back insert persisted")
+	}
+	if res := mustExec(t, db, "SELECT salary FROM emp WHERE id = 1"); res.Rows[0][0].I != 60000 {
+		t.Fatal("rolled-back update persisted")
+	}
+	if res := mustExec(t, db, "SELECT id FROM emp WHERE id = 2"); len(res.Rows) != 1 {
+		t.Fatal("rolled-back delete persisted")
+	}
+}
+
+func TestTransactionErrors(t *testing.T) {
+	db := New()
+	if _, err := db.ExecSQL("COMMIT"); err == nil {
+		t.Fatal("COMMIT outside txn should fail")
+	}
+	if _, err := db.ExecSQL("ROLLBACK"); err == nil {
+		t.Fatal("ROLLBACK outside txn should fail")
+	}
+}
+
+func TestScalarUDF(t *testing.T) {
+	db := seedEmployees(t)
+	db.RegisterUDF("double_it", func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return Value{}, fmt.Errorf("double_it takes 1 arg")
+		}
+		n, err := args[0].AsInt()
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(2 * n), nil
+	})
+	res := mustExec(t, db, "SELECT double_it(salary) FROM emp WHERE id = 1")
+	if res.Rows[0][0].I != 120000 {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+	// UDF usable in WHERE too.
+	res = mustExec(t, db, "SELECT id FROM emp WHERE double_it(salary) >= 150000")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+type concatState struct{ s string }
+
+func (c *concatState) Step(args []Value) error {
+	c.s += args[0].S
+	return nil
+}
+func (c *concatState) Final() (Value, error) { return Text(c.s), nil }
+
+func TestAggregateUDF(t *testing.T) {
+	db := seedEmployees(t)
+	db.RegisterAggUDF("concat_all", func() AggState { return &concatState{} })
+	res := mustExec(t, db, "SELECT concat_all(name) FROM emp WHERE dept = 'sales'")
+	got := res.Rows[0][0].S
+	if got != "AliceBob" && got != "BobAlice" {
+		t.Fatalf("got %q", got)
+	}
+	// Aggregate UDF with GROUP BY.
+	res = mustExec(t, db, "SELECT dept, concat_all(name) FROM emp GROUP BY dept ORDER BY dept")
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 'x'), (NULL, 'y'), (3, NULL)")
+	if res := mustExec(t, db, "SELECT b FROM t WHERE a IS NULL"); len(res.Rows) != 1 || res.Rows[0][0].S != "y" {
+		t.Fatalf("IS NULL rows = %v", res.Rows)
+	}
+	if res := mustExec(t, db, "SELECT a FROM t WHERE b IS NOT NULL"); len(res.Rows) != 2 {
+		t.Fatalf("IS NOT NULL rows = %v", res.Rows)
+	}
+	// NULL = anything is not true.
+	if res := mustExec(t, db, "SELECT b FROM t WHERE a = NULL"); len(res.Rows) != 0 {
+		t.Fatalf("= NULL rows = %v", res.Rows)
+	}
+	// Aggregates skip NULLs.
+	if res := mustExec(t, db, "SELECT COUNT(a), SUM(a) FROM t"); res.Rows[0][0].I != 2 || res.Rows[0][1].I != 4 {
+		t.Fatalf("agg rows = %v", res.Rows)
+	}
+}
+
+func TestParams(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT name FROM emp WHERE id = ?", Int(2))
+	if res.Rows[0][0].S != "Bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, db, "SELECT id FROM emp WHERE dept = ? AND salary > ?", Text("eng"), Int(76000))
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := seedEmployees(t)
+	mustExec(t, db, "DROP TABLE emp")
+	if _, err := db.ExecSQL("SELECT * FROM emp"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := seedEmployees(t)
+	bad := []string{
+		"SELECT * FROM nosuch",
+		"SELECT nosuchcol FROM emp",
+		"INSERT INTO emp (nosuch) VALUES (1)",
+		"INSERT INTO emp (id) VALUES (1, 2)",
+		"UPDATE emp SET nosuch = 1",
+		"DELETE FROM nosuch",
+		"CREATE TABLE emp (id INT)",
+		"SELECT unknown_fn(id) FROM emp",
+	}
+	for _, sql := range bad {
+		if _, err := db.ExecSQL(sql); err == nil {
+			t.Errorf("%s: want error", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE a (x INT)")
+	mustExec(t, db, "CREATE TABLE b (x INT)")
+	mustExec(t, db, "INSERT INTO a (x) VALUES (1)")
+	mustExec(t, db, "INSERT INTO b (x) VALUES (1)")
+	if _, err := db.ExecSQL("SELECT x FROM a, b"); err == nil {
+		t.Fatal("ambiguous column should error")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	if db.SizeBytes() != 0 {
+		t.Fatalf("empty size = %d", db.SizeBytes())
+	}
+	mustExec(t, db, "INSERT INTO t (a, b) VALUES (1, 'hello')")
+	if got := db.SizeBytes(); got != 8+5 {
+		t.Fatalf("size = %d, want 13", got)
+	}
+}
+
+func TestConcurrentReadsAndWrites(t *testing.T) {
+	db := seedEmployees(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(2)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := db.ExecSQL("SELECT COUNT(*) FROM emp WHERE dept = 'sales'"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				id := 1000 + n*100 + j
+				if _, err := db.ExecSQL(fmt.Sprintf("INSERT INTO emp (id, name, dept, salary) VALUES (%d, 'W', 'tmp', 1)", id)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res := mustExec(t, db, "SELECT COUNT(*) FROM emp WHERE dept = 'tmp'")
+	if res.Rows[0][0].I != 400 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestSelectNoFrom(t *testing.T) {
+	db := New()
+	res := mustExec(t, db, "SELECT 1 + 2")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestBitwiseOps(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE acl (id INT, perms INT)")
+	mustExec(t, db, "INSERT INTO acl (id, perms) VALUES (1, 5), (2, 2), (3, 7)")
+	res := mustExec(t, db, "SELECT id FROM acl WHERE perms & 4 = 4 ORDER BY id")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 1 || res.Rows[1][0].I != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestGroupByEmptyResult(t *testing.T) {
+	db := seedEmployees(t)
+	res := mustExec(t, db, "SELECT dept, COUNT(*) FROM emp WHERE id > 1000 GROUP BY dept")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,184 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type sqlparser.ColType
+}
+
+// Table is the in-memory storage for one table: a row store plus hash
+// indexes. Rows are append-only slots; deleted rows become nil tombstones
+// and slots are reused via a free list.
+type Table struct {
+	Name    string
+	Cols    []Column
+	colIdx  map[string]int
+	rows    [][]Value
+	free    []int
+	indexes map[string]*hashIndex // column name -> index
+	live    int
+}
+
+type hashIndex struct {
+	column string
+	pos    int
+	unique bool
+	m      map[string][]int // value key -> row slots
+}
+
+func newTable(name string, cols []Column) *Table {
+	t := &Table{
+		Name:    name,
+		Cols:    cols,
+		colIdx:  make(map[string]int, len(cols)),
+		indexes: make(map[string]*hashIndex),
+	}
+	for i, c := range cols {
+		t.colIdx[c.Name] = i
+	}
+	return t
+}
+
+// ColumnIndex returns the position of a column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// RowCount reports the number of live rows.
+func (t *Table) RowCount() int { return t.live }
+
+// addIndex builds a hash index over an existing column.
+func (t *Table) addIndex(column string, unique bool) error {
+	pos := t.ColumnIndex(column)
+	if pos < 0 {
+		return fmt.Errorf("sqldb: no column %s.%s to index", t.Name, column)
+	}
+	if _, ok := t.indexes[column]; ok {
+		return nil // idempotent
+	}
+	idx := &hashIndex{column: column, pos: pos, unique: unique, m: make(map[string][]int)}
+	for slot, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		key := row[pos].Key()
+		if unique && len(idx.m[key]) > 0 {
+			return fmt.Errorf("sqldb: duplicate value for unique index on %s.%s", t.Name, column)
+		}
+		idx.m[key] = append(idx.m[key], slot)
+	}
+	t.indexes[column] = idx
+	return nil
+}
+
+// insertRow places a row into a slot and maintains indexes, returning the
+// slot number.
+func (t *Table) insertRow(row []Value) (int, error) {
+	for _, idx := range t.indexes {
+		if idx.unique && len(idx.m[row[idx.pos].Key()]) > 0 {
+			return 0, fmt.Errorf("sqldb: unique index violation on %s.%s", t.Name, idx.column)
+		}
+	}
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = row
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, row)
+	}
+	for _, idx := range t.indexes {
+		key := row[idx.pos].Key()
+		idx.m[key] = append(idx.m[key], slot)
+	}
+	t.live++
+	return slot, nil
+}
+
+// deleteRow removes the row in slot, maintaining indexes.
+func (t *Table) deleteRow(slot int) []Value {
+	row := t.rows[slot]
+	if row == nil {
+		return nil
+	}
+	for _, idx := range t.indexes {
+		removeSlot(idx, row[idx.pos].Key(), slot)
+	}
+	t.rows[slot] = nil
+	t.free = append(t.free, slot)
+	t.live--
+	return row
+}
+
+// updateCell replaces one cell, maintaining any index on that column.
+func (t *Table) updateCell(slot, pos int, v Value) {
+	row := t.rows[slot]
+	old := row[pos]
+	for _, idx := range t.indexes {
+		if idx.pos != pos {
+			continue
+		}
+		removeSlot(idx, old.Key(), slot)
+		key := v.Key()
+		idx.m[key] = append(idx.m[key], slot)
+	}
+	row[pos] = v
+}
+
+func removeSlot(idx *hashIndex, key string, slot int) {
+	slots := idx.m[key]
+	for i, s := range slots {
+		if s == slot {
+			slots[i] = slots[len(slots)-1]
+			idx.m[key] = slots[:len(slots)-1]
+			break
+		}
+	}
+	if len(idx.m[key]) == 0 {
+		delete(idx.m, key)
+	}
+}
+
+// lookup returns the row slots whose indexed column equals v, and whether an
+// index existed for the column.
+func (t *Table) lookup(column string, v Value) ([]int, bool) {
+	idx, ok := t.indexes[column]
+	if !ok {
+		return nil, false
+	}
+	return idx.m[v.Key()], true
+}
+
+// scan invokes fn for every live row until fn returns false.
+func (t *Table) scan(fn func(slot int, row []Value) bool) {
+	for slot, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(slot, row) {
+			return
+		}
+	}
+}
+
+// SizeBytes approximates the table's storage footprint (live data only).
+func (t *Table) SizeBytes() int {
+	total := 0
+	t.scan(func(_ int, row []Value) bool {
+		for _, v := range row {
+			total += v.SizeBytes()
+		}
+		return true
+	})
+	return total
+}

@@ -1,0 +1,148 @@
+package sqldb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Text("a"), Text("b"), -1},
+		{Text("b"), Text("b"), 0},
+		{Blob([]byte{1}), Blob([]byte{2}), -1},
+		{Text("5"), Int(5), 0}, // MySQL-ish coercion
+		{Int(7), Text("6"), 1},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+}
+
+func TestValueCompareErrors(t *testing.T) {
+	if _, err := Null().Compare(Int(1)); err == nil {
+		t.Error("NULL comparison should error")
+	}
+	if _, err := Text("abc").Compare(Int(1)); err == nil {
+		t.Error("non-numeric text vs int should error")
+	}
+	if _, err := Blob([]byte{1}).Compare(Int(1)); err == nil {
+		t.Error("blob vs int should error")
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("NULL = NULL must be false in SQL")
+	}
+	if Null().Equal(Int(0)) || Int(0).Equal(Null()) {
+		t.Error("NULL equals nothing")
+	}
+	if !Int(5).Equal(Int(5)) {
+		t.Error("5 = 5")
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	f := func(a, b int64) bool {
+		if a == b {
+			return Int(a).Key() == Int(b).Key()
+		}
+		return Int(a).Key() != Int(b).Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-kind keys never collide, even for "equal-looking" values.
+	if Int(5).Key() == Text("5").Key() {
+		t.Error("int and text keys collide")
+	}
+	if Text("x").Key() == Blob([]byte("x")).Key() {
+		t.Error("text and blob keys collide")
+	}
+	if Null().Key() == Int(0).Key() {
+		t.Error("null and zero keys collide")
+	}
+}
+
+func TestValueTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Int(0), false}, {Int(1), true}, {Int(-1), true},
+		{Text(""), false}, {Text("x"), true},
+		{Null(), false},
+		{Blob(nil), false}, {Blob([]byte{0}), true},
+	}
+	for _, c := range cases {
+		if c.v.Truthy() != c.want {
+			t.Errorf("Truthy(%v) = %v", c.v, c.v.Truthy())
+		}
+	}
+}
+
+func TestValueAsInt(t *testing.T) {
+	if n, err := Text("42").AsInt(); err != nil || n != 42 {
+		t.Errorf("AsInt('42') = %d, %v", n, err)
+	}
+	if _, err := Text("nope").AsInt(); err == nil {
+		t.Error("AsInt('nope') should fail")
+	}
+	if _, err := Null().AsInt(); err == nil {
+		t.Error("AsInt(NULL) should fail")
+	}
+}
+
+func TestValueSizeBytes(t *testing.T) {
+	if Int(9).SizeBytes() != 8 {
+		t.Error("int size")
+	}
+	if Text("hello").SizeBytes() != 5 {
+		t.Error("text size")
+	}
+	if Blob(make([]byte, 12)).SizeBytes() != 12 {
+		t.Error("blob size")
+	}
+}
+
+func TestBoolHelper(t *testing.T) {
+	if Bool(true).I != 1 || Bool(false).I != 0 {
+		t.Error("Bool mapping")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__o", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"HELLO", "hello", true}, // case-insensitive
+		{"a", "_", true},
+		{"ab", "_", false},
+		{"needle in haystack", "%needle%", true},
+		{"haystack", "%needle%", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}

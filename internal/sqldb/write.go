@@ -1,0 +1,175 @@
+package sqldb
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+)
+
+func (db *DB) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no table %s", s.Table)
+	}
+
+	// Map the statement's column list (or full schema) to positions.
+	var positions []int
+	if len(s.Columns) == 0 {
+		positions = make([]int, len(t.Cols))
+		for i := range t.Cols {
+			positions[i] = i
+		}
+	} else {
+		positions = make([]int, len(s.Columns))
+		for i, name := range s.Columns {
+			pos := t.ColumnIndex(name)
+			if pos < 0 {
+				return nil, fmt.Errorf("sqldb: no column %s.%s", s.Table, name)
+			}
+			positions[i] = pos
+		}
+	}
+
+	sc := &scope{}
+	sc.addTable("", t)
+	affected := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(positions) {
+			return nil, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprRow), len(positions))
+		}
+		row := make([]Value, len(t.Cols))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, e := range exprRow {
+			ctx := &evalCtx{db: db, scope: sc, tup: nil, params: params}
+			v, err := ctx.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = v
+		}
+		slot, err := t.insertRow(row)
+		if err != nil {
+			return nil, err
+		}
+		db.logInsert(t, slot)
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no table %s", s.Table)
+	}
+	sc := &scope{}
+	sc.addTable("", t)
+
+	// Validate target columns once.
+	targets := make([]int, len(s.Assignments))
+	for i, a := range s.Assignments {
+		pos := t.ColumnIndex(a.Column)
+		if pos < 0 {
+			return nil, fmt.Errorf("sqldb: no column %s.%s", s.Table, a.Column)
+		}
+		targets[i] = pos
+	}
+
+	slots, err := db.matchSlots(t, sc, s.Where, params)
+	if err != nil {
+		return nil, err
+	}
+
+	affected := 0
+	for _, slot := range slots {
+		row := t.rows[slot]
+		if row == nil {
+			continue
+		}
+		// Evaluate all assignment expressions against the pre-update
+		// row, then apply (so `a = b, b = a` swaps correctly).
+		newVals := make([]Value, len(s.Assignments))
+		for i, a := range s.Assignments {
+			ctx := &evalCtx{db: db, scope: sc, tup: tuple{row}, params: params}
+			v, err := ctx.eval(a.Value)
+			if err != nil {
+				return nil, err
+			}
+			newVals[i] = v
+		}
+		for i, pos := range targets {
+			db.logUpdate(t, slot, pos, row[pos])
+			t.updateCell(slot, pos, newVals[i])
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+func (db *DB) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no table %s", s.Table)
+	}
+	sc := &scope{}
+	sc.addTable("", t)
+
+	slots, err := db.matchSlots(t, sc, s.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	for _, slot := range slots {
+		row := t.deleteRow(slot)
+		if row != nil {
+			db.logDelete(t, row)
+			affected++
+		}
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// matchSlots returns the slots of rows matching where, using an index for a
+// `col = constant` conjunct when available.
+func (db *DB) matchSlots(t *Table, sc *scope, where sqlparser.Expr, params []Value) ([]int, error) {
+	var candidates []int
+	seeded := false
+	for _, pred := range conjuncts(where) {
+		col, val, ok := db.constEquality(pred, sc, 0, params)
+		if !ok {
+			continue
+		}
+		if slots, has := t.lookup(col, val); has {
+			candidates = append([]int{}, slots...)
+			seeded = true
+			break
+		}
+	}
+	if !seeded {
+		t.scan(func(slot int, _ []Value) bool {
+			candidates = append(candidates, slot)
+			return true
+		})
+	}
+	if where == nil {
+		return candidates, nil
+	}
+	var out []int
+	for _, slot := range candidates {
+		row := t.rows[slot]
+		if row == nil {
+			continue
+		}
+		ctx := &evalCtx{db: db, scope: sc, tup: tuple{row}, params: params}
+		v, err := ctx.eval(where)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			out = append(out, slot)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package sqlparser
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	l := NewLexer(src)
+	var out []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Kind == TokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexKeywordsAndIdents(t *testing.T) {
+	toks := lexAll(t, "SELECT name FROM employees")
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "SELECT" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "name" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+}
+
+func TestLexCaseInsensitiveKeywords(t *testing.T) {
+	toks := lexAll(t, "select * from t where a like 'x'")
+	if toks[0].Text != "SELECT" || toks[4].Text != "WHERE" || toks[6].Text != "LIKE" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexAll(t, `'simple' 'it''s' "double" 'esc\n'`)
+	want := []string{"simple", "it's", "double", "esc\n"}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Text != w {
+			t.Fatalf("tok%d = %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	l := NewLexer("'oops")
+	if _, err := l.Next(); err == nil {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "<= >= <> != || < > = + - * / % & | ^ ( ) , . ;")
+	wants := []string{"<=", ">=", "<>", "!=", "||", "<", ">", "=", "+", "-", "*", "/", "%", "&", "|", "^", "(", ")", ",", ".", ";"}
+	if len(toks) != len(wants) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(wants))
+	}
+	for i, w := range wants {
+		if toks[i].Kind != TokOp || toks[i].Text != w {
+			t.Fatalf("tok%d = %+v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "SELECT -- comment to end\n 1 /* block\nspanning */ 2")
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].Text != "1" || toks[2].Text != "2" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexParams(t *testing.T) {
+	toks := lexAll(t, "a = ? AND b = ?")
+	params := 0
+	for _, tok := range toks {
+		if tok.Kind == TokParam {
+			params++
+		}
+	}
+	if params != 2 {
+		t.Fatalf("params = %d", params)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexAll(t, "0 42 123456789012345")
+	for _, tok := range toks {
+		if tok.Kind != TokInt {
+			t.Fatalf("tok = %+v", tok)
+		}
+	}
+}
+
+func TestLexBadChar(t *testing.T) {
+	l := NewLexer("SELECT @")
+	if _, err := l.Next(); err != nil { // SELECT is fine
+		t.Fatal(err)
+	}
+	if _, err := l.Next(); err == nil {
+		t.Fatal("want error for @")
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "ab  cd")
+	if toks[0].Pos != 0 || toks[1].Pos != 4 {
+		t.Fatalf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}

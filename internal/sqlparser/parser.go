@@ -1,0 +1,1279 @@
+package sqlparser
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over a Lexer.
+type Parser struct {
+	lex     *Lexer
+	tok     Token
+	peeked  *Token
+	nparams int
+}
+
+// Parse parses a single SQL statement.
+func Parse(sql string) (Statement, error) {
+	p := &Parser{lex: NewLexer(sql)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.tok.Kind == TokOp && p.tok.Text == ";" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, fmt.Errorf("sqlparser: unexpected trailing input %q at offset %d", p.tok.Text, p.tok.Pos)
+	}
+	return st, nil
+}
+
+// ParseMulti parses a semicolon-separated script.
+func ParseMulti(sql string) ([]Statement, error) {
+	p := &Parser{lex: NewLexer(sql)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []Statement
+	for p.tok.Kind != TokEOF {
+		if p.tok.Kind == TokOp && p.tok.Text == ";" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func (p *Parser) advance() error {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) peek() (Token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.Next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparser: "+format+" (offset %d)", append(args, p.tok.Pos)...)
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if p.tok.Kind != TokKeyword || p.tok.Text != kw {
+		return p.errf("expected %s, got %q", kw, p.tok.Text)
+	}
+	return p.advance()
+}
+
+func (p *Parser) expectOp(op string) error {
+	if p.tok.Kind != TokOp || p.tok.Text != op {
+		return p.errf("expected %q, got %q", op, p.tok.Text)
+	}
+	return p.advance()
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokKeyword && p.tok.Text == kw
+}
+
+func (p *Parser) isOp(op string) bool {
+	return p.tok.Kind == TokOp && p.tok.Text == op
+}
+
+// acceptKeyword consumes kw if present and reports whether it did.
+func (p *Parser) acceptKeyword(kw string) (bool, error) {
+	if p.isKeyword(kw) {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+// ident accepts an identifier or a non-reserved-looking keyword used as a
+// name (applications use column names like "key" or "text").
+func (p *Parser) ident() (string, error) {
+	if p.tok.Kind == TokIdent {
+		name := p.tok.Text
+		return name, p.advance()
+	}
+	if p.tok.Kind == TokKeyword {
+		switch p.tok.Text {
+		case "TEXT", "KEY", "COUNT", "SUM", "MIN", "MAX", "AVG", "INDEX", "BY":
+			name := strings.ToLower(p.tok.Text)
+			return name, p.advance()
+		}
+	}
+	return "", p.errf("expected identifier, got %q", p.tok.Text)
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	if p.tok.Kind != TokKeyword {
+		return nil, p.errf("expected statement keyword, got %q", p.tok.Text)
+	}
+	switch p.tok.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTableStmt{Name: name}, nil
+	case "PRINCTYPE":
+		return p.parsePrincType()
+	case "BEGIN":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		_, err := p.acceptKeyword("TRANSACTION")
+		return &BeginStmt{}, err
+	case "COMMIT":
+		return &CommitStmt{}, p.advance()
+	case "ROLLBACK", "ABORT":
+		return &RollbackStmt{}, p.advance()
+	}
+	return nil, p.errf("unsupported statement %q", p.tok.Text)
+}
+
+func (p *Parser) parsePrincType() (Statement, error) {
+	if err := p.advance(); err != nil { // PRINCTYPE
+		return nil, err
+	}
+	st := &PrincTypeStmt{}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Names = append(st.Names, name)
+		if !p.isOp(",") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	ext, err := p.acceptKeyword("EXTERNAL")
+	if err != nil {
+		return nil, err
+	}
+	st.External = ext
+	return st, nil
+}
+
+func (p *Parser) parseCreate() (Statement, error) {
+	if err := p.advance(); err != nil { // CREATE
+		return nil, err
+	}
+	unique := false
+	if ok, err := p.acceptKeyword("UNIQUE"); err != nil {
+		return nil, err
+	} else if ok {
+		unique = true
+	}
+	if p.isKeyword("INDEX") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}, nil
+	}
+	if unique {
+		return nil, p.errf("UNIQUE only applies to CREATE INDEX")
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	st := &CreateTableStmt{Name: name}
+	for {
+		if p.isOp("(") || p.tok.Kind == TokString {
+			sf, err := p.parseSpeaksFor()
+			if err != nil {
+				return nil, err
+			}
+			st.SpeaksFor = append(st.SpeaksFor, *sf)
+		} else {
+			col, err := p.parseColumnDef()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, *col)
+		}
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if len(st.Cols) == 0 {
+		return nil, p.errf("CREATE TABLE %s has no columns", name)
+	}
+	return st, nil
+}
+
+func (p *Parser) parseColumnDef() (*ColumnDef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	col := &ColumnDef{Name: name}
+	if p.tok.Kind != TokKeyword {
+		return nil, p.errf("expected column type, got %q", p.tok.Text)
+	}
+	switch p.tok.Text {
+	case "INT", "INTEGER", "BIGINT":
+		col.Type = TypeInt
+	case "TEXT":
+		col.Type = TypeText
+	case "VARCHAR":
+		col.Type = TypeText
+	case "BLOB":
+		col.Type = TypeBlob
+	default:
+		return nil, p.errf("unsupported column type %q", p.tok.Text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// VARCHAR(255) — consume and ignore the size.
+	if p.isOp("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokInt {
+			return nil, p.errf("expected length, got %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		switch {
+		case p.isKeyword("PRIMARY"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			col.Primary = true
+		case p.isKeyword("PLAIN"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			col.Plain = true
+		case p.isKeyword("MINENC"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			layer, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			col.MinEnc = strings.ToUpper(layer)
+		case p.isKeyword("ENC"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("FOR"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			owner, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ptype, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			col.EncFor = &EncForAnnot{OwnerColumn: owner, PrincType: ptype}
+		case p.isKeyword("NOT"):
+			// Accept and ignore NOT NULL.
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("DEFAULT"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.parsePrimary(); err != nil {
+				return nil, err
+			}
+		default:
+			return col, nil
+		}
+	}
+}
+
+// parseSpeaksFor parses `(a x) SPEAKS FOR (b y) [IF predicate]` where a is a
+// column, Table2.col, or a quoted constant.
+func (p *Parser) parseSpeaksFor() (*SpeaksForAnnot, error) {
+	sf := &SpeaksForAnnot{}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokString {
+		sf.AConst = p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.isOp(".") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			a = a + "." + col
+		}
+		sf.AColumn = a
+	}
+	at, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sf.AType = at
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SPEAKS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FOR"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	b, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sf.BColumn = b
+	bt, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sf.BType = bt
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("IF") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		pred, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sf.If = pred
+	}
+	return sf, nil
+}
+
+func (p *Parser) parseSelect() (Statement, error) {
+	if err := p.advance(); err != nil { // SELECT
+		return nil, err
+	}
+	st := &SelectStmt{}
+	if ok, err := p.acceptKeyword("DISTINCT"); err != nil {
+		return nil, err
+	} else if ok {
+		st.Distinct = true
+	}
+	for {
+		if p.isOp("*") {
+			st.Exprs = append(st.Exprs, SelectExpr{Star: true})
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			se := SelectExpr{Expr: e}
+			if ok, err := p.acceptKeyword("AS"); err != nil {
+				return nil, err
+			} else if ok {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				se.Alias = alias
+			} else if p.tok.Kind == TokIdent {
+				se.Alias = p.tok.Text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			st.Exprs = append(st.Exprs, se)
+		}
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.isKeyword("FROM") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		refs, err := p.parseTableRefs()
+		if err != nil {
+			return nil, err
+		}
+		st.From = refs
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.isKeyword("GROUP") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, g)
+			if !p.isOp(",") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.isKeyword("HAVING") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = h
+	}
+	if p.isKeyword("ORDER") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if ok, err := p.acceptKeyword("DESC"); err != nil {
+				return nil, err
+			} else if ok {
+				item.Desc = true
+			} else if _, err := p.acceptKeyword("ASC"); err != nil {
+				return nil, err
+			}
+			st.OrderBy = append(st.OrderBy, item)
+			if !p.isOp(",") {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.isKeyword("LIMIT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseIntValue()
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = &n
+	}
+	if p.isKeyword("OFFSET") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseIntValue()
+		if err != nil {
+			return nil, err
+		}
+		st.Offset = &n
+	}
+	return st, nil
+}
+
+func (p *Parser) parseIntValue() (int64, error) {
+	if p.tok.Kind != TokInt {
+		return 0, p.errf("expected integer, got %q", p.tok.Text)
+	}
+	n, err := strconv.ParseInt(p.tok.Text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", p.tok.Text)
+	}
+	return n, p.advance()
+}
+
+func (p *Parser) parseTableRefs() ([]TableRef, error) {
+	var refs []TableRef
+	first := true
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: name}
+		if p.tok.Kind == TokIdent {
+			ref.Alias = p.tok.Text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if !first && p.isKeyword("ON") {
+			return nil, p.errf("ON belongs after JOIN, not a comma-joined table")
+		}
+		refs = append(refs, ref)
+		first = false
+		switch {
+		case p.isOp(","):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("INNER") || p.isKeyword("JOIN") || p.isKeyword("LEFT"):
+			if p.isKeyword("INNER") || p.isKeyword("LEFT") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jname, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			jref := TableRef{Table: jname}
+			if p.tok.Kind == TokIdent {
+				jref.Alias = p.tok.Text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			jref.JoinOn = on
+			refs = append(refs, jref)
+			// Allow chained JOINs.
+			for p.isKeyword("JOIN") || p.isKeyword("INNER") || p.isKeyword("LEFT") {
+				if p.isKeyword("INNER") || p.isKeyword("LEFT") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				cname, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				cref := TableRef{Table: cname}
+				if p.tok.Kind == TokIdent {
+					cref.Alias = p.tok.Text
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				con, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				cref.JoinOn = con
+				refs = append(refs, cref)
+			}
+			return refs, nil
+		default:
+			return refs, nil
+		}
+	}
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	if err := p.advance(); err != nil { // INSERT
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: table}
+	if p.isOp("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Columns = append(st.Columns, col)
+			if p.isOp(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.isOp(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, row)
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	if err := p.advance(); err != nil { // UPDATE
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Assignments = append(st.Assignments, Assignment{Column: col, Value: val})
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	if err := p.advance(); err != nil { // DELETE
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: table}
+	if p.isKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	return st, nil
+}
+
+//
+// Expressions, precedence climbing.
+//
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseBitOr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.tok.Kind == TokOp && isCmpOp(p.tok.Text):
+			op := p.tok.Text
+			if op == "<>" {
+				op = "!="
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseBitOr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: op, L: l, R: r}
+		case p.isKeyword("IS"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			not := false
+			if ok, err := p.acceptKeyword("NOT"); err != nil {
+				return nil, err
+			} else if ok {
+				not = true
+			}
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNullExpr{E: l, Not: not}
+		case p.isKeyword("IN"), p.isKeyword("LIKE"), p.isKeyword("BETWEEN"), p.isKeyword("NOT"):
+			not := false
+			if p.isKeyword("NOT") {
+				nt, err := p.peek()
+				if err != nil {
+					return nil, err
+				}
+				if nt.Kind != TokKeyword || (nt.Text != "IN" && nt.Text != "LIKE" && nt.Text != "BETWEEN") {
+					return l, nil
+				}
+				not = true
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			switch p.tok.Text {
+			case "IN":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectOp("("); err != nil {
+					return nil, err
+				}
+				var list []Expr
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					list = append(list, e)
+					if p.isOp(",") {
+						if err := p.advance(); err != nil {
+							return nil, err
+						}
+						continue
+					}
+					break
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				l = &InExpr{E: l, List: list, Not: not}
+			case "LIKE":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				pat, err := p.parseBitOr()
+				if err != nil {
+					return nil, err
+				}
+				l = &LikeExpr{E: l, Pattern: pat, Not: not}
+			case "BETWEEN":
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				lo, err := p.parseBitOr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseBitOr()
+				if err != nil {
+					return nil, err
+				}
+				l = &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: not}
+			default:
+				return l, nil
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "=", "!=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseBitOr() (Expr, error) {
+	l, err := p.parseBitAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("|") || p.isOp("^") {
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseBitAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseBitAnd() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("&") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") || p.isOp("||") {
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") || p.isOp("%") {
+		op := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.isOp("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*IntLit); ok {
+			return &IntLit{V: -lit.V}, nil
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokInt:
+		v, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", p.tok.Text)
+		}
+		return &IntLit{V: v}, p.advance()
+	case TokString:
+		v := p.tok.Text
+		return &StrLit{V: v}, p.advance()
+	case TokParam:
+		p.nparams++
+		return &Param{Index: p.nparams - 1}, p.advance()
+	case TokKeyword:
+		switch p.tok.Text {
+		case "NULL":
+			return &NullLit{}, p.advance()
+		case "TRUE":
+			return &BoolLit{V: true}, p.advance()
+		case "FALSE":
+			return &BoolLit{V: false}, p.advance()
+		case "COUNT", "SUM", "MIN", "MAX", "AVG":
+			return p.parseFuncCall(p.tok.Text)
+		}
+		// Fall through for keywords usable as identifiers.
+		return p.parseIdentExpr()
+	case TokIdent:
+		// x'ab12' hex literal.
+		if p.tok.Text == "x" || p.tok.Text == "X" {
+			nt, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if nt.Kind == TokString {
+				raw, err := hex.DecodeString(nt.Text)
+				if err != nil {
+					return nil, p.errf("bad hex literal: %v", err)
+				}
+				if err := p.advance(); err != nil { // consume x
+					return nil, err
+				}
+				return &BytesLit{V: raw}, p.advance() // consume string
+			}
+		}
+		return p.parseIdentExpr()
+	case TokOp:
+		if p.tok.Text == "(" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", p.tok.Text)
+}
+
+// parseIdentExpr parses a column reference, qualified column, or UDF call.
+func (p *Parser) parseIdentExpr() (Expr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.isOp("(") {
+		return p.parseFuncArgs(name)
+	}
+	if p.isOp(".") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isOp("*") {
+			// t.* — represent as a ColRef with Column "*".
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Column: "*"}, nil
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ColRef{Table: name, Column: col}, nil
+	}
+	return &ColRef{Column: name}, nil
+}
+
+// parseFuncCall parses a builtin aggregate whose name was the current token.
+func (p *Parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseFuncArgs(name)
+}
+
+func (p *Parser) parseFuncArgs(name string) (Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: canonicalFuncName(name)}
+	if p.isOp("*") {
+		fc.Star = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.isOp(")") {
+		return fc, p.advance()
+	}
+	if ok, err := p.acceptKeyword("DISTINCT"); err != nil {
+		return nil, err
+	} else if ok {
+		fc.Distinct = true
+	}
+	for {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, a)
+		if p.isOp(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func canonicalFuncName(name string) string {
+	up := strings.ToUpper(name)
+	switch up {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return up
+	}
+	return name
+}

@@ -1,0 +1,394 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	st := mustParse(t, "SELECT id, name FROM employees WHERE name = 'Alice'").(*SelectStmt)
+	if len(st.Exprs) != 2 {
+		t.Fatalf("exprs = %d, want 2", len(st.Exprs))
+	}
+	if st.From[0].Table != "employees" {
+		t.Fatalf("table = %q", st.From[0].Table)
+	}
+	be, ok := st.Where.(*BinaryExpr)
+	if !ok || be.Op != "=" {
+		t.Fatalf("where = %#v", st.Where)
+	}
+	if be.R.(*StrLit).V != "Alice" {
+		t.Fatalf("rhs = %#v", be.R)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t").(*SelectStmt)
+	if !st.Exprs[0].Star {
+		t.Fatal("expected star select")
+	}
+}
+
+func TestParseSelectAggregates(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*), SUM(salary), MIN(age), MAX(age), AVG(salary) FROM emp GROUP BY dept HAVING COUNT(*) > 2").(*SelectStmt)
+	if len(st.Exprs) != 5 {
+		t.Fatalf("exprs = %d", len(st.Exprs))
+	}
+	if fc := st.Exprs[0].Expr.(*FuncCall); fc.Name != "COUNT" || !fc.Star {
+		t.Fatalf("first = %#v", fc)
+	}
+	if len(st.GroupBy) != 1 || st.Having == nil {
+		t.Fatal("missing GROUP BY / HAVING")
+	}
+}
+
+func TestParseSelectJoin(t *testing.T) {
+	st := mustParse(t, "SELECT a.x, b.y FROM ta a JOIN tb b ON a.id = b.aid WHERE b.y > 5 ORDER BY a.x DESC LIMIT 10").(*SelectStmt)
+	if len(st.From) != 2 {
+		t.Fatalf("from = %d", len(st.From))
+	}
+	if st.From[1].JoinOn == nil {
+		t.Fatal("missing join condition")
+	}
+	if st.From[0].Alias != "a" || st.From[1].Alias != "b" {
+		t.Fatalf("aliases = %q, %q", st.From[0].Alias, st.From[1].Alias)
+	}
+	if !st.OrderBy[0].Desc {
+		t.Fatal("expected DESC")
+	}
+	if *st.Limit != 10 {
+		t.Fatalf("limit = %d", *st.Limit)
+	}
+}
+
+func TestParseChainedJoins(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM a JOIN b ON a.i = b.i JOIN c ON b.j = c.j").(*SelectStmt)
+	if len(st.From) != 3 {
+		t.Fatalf("from = %d, want 3", len(st.From))
+	}
+	if st.From[2].JoinOn == nil {
+		t.Fatal("third table missing ON")
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM a, b WHERE a.i = b.i").(*SelectStmt)
+	if len(st.From) != 2 || st.From[1].JoinOn != nil {
+		t.Fatalf("from = %#v", st.From)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, "INSERT INTO emp (id, name) VALUES (1, 'Alice'), (2, 'Bob')").(*InsertStmt)
+	if st.Table != "emp" || len(st.Columns) != 2 || len(st.Rows) != 2 {
+		t.Fatalf("%#v", st)
+	}
+	if st.Rows[1][1].(*StrLit).V != "Bob" {
+		t.Fatalf("row = %#v", st.Rows[1])
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st := mustParse(t, "UPDATE emp SET salary = salary + 1, name = 'x' WHERE id = 3").(*UpdateStmt)
+	if len(st.Assignments) != 2 {
+		t.Fatalf("assignments = %d", len(st.Assignments))
+	}
+	be := st.Assignments[0].Value.(*BinaryExpr)
+	if be.Op != "+" {
+		t.Fatalf("op = %q", be.Op)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustParse(t, "DELETE FROM emp WHERE id = 3").(*DeleteStmt)
+	if st.Table != "emp" || st.Where == nil {
+		t.Fatalf("%#v", st)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE emp (id INT PRIMARY KEY, name VARCHAR(255), bio TEXT, salary BIGINT)").(*CreateTableStmt)
+	if len(st.Cols) != 4 {
+		t.Fatalf("cols = %d", len(st.Cols))
+	}
+	if !st.Cols[0].Primary || st.Cols[0].Type != TypeInt {
+		t.Fatalf("col0 = %#v", st.Cols[0])
+	}
+	if st.Cols[1].Type != TypeText || st.Cols[2].Type != TypeText {
+		t.Fatal("varchar/text mapping")
+	}
+}
+
+func TestParseCreateTableAnnotations(t *testing.T) {
+	sql := `CREATE TABLE privmsgs (
+		msgid INT,
+		subject VARCHAR(255) ENC FOR (msgid msg),
+		msgtext TEXT ENC FOR (msgid msg),
+		ts INT PLAIN,
+		ccn TEXT MINENC DET
+	)`
+	st := mustParse(t, sql).(*CreateTableStmt)
+	if st.Cols[1].EncFor == nil || st.Cols[1].EncFor.OwnerColumn != "msgid" || st.Cols[1].EncFor.PrincType != "msg" {
+		t.Fatalf("enc for = %#v", st.Cols[1].EncFor)
+	}
+	if !st.Cols[3].Plain {
+		t.Fatal("PLAIN not parsed")
+	}
+	if st.Cols[4].MinEnc != "DET" {
+		t.Fatalf("minenc = %q", st.Cols[4].MinEnc)
+	}
+}
+
+func TestParseSpeaksFor(t *testing.T) {
+	sql := `CREATE TABLE privmsgs_to (
+		msgid INT, rcpt_id INT, sender_id INT,
+		(sender_id user) SPEAKS FOR (msgid msg),
+		(rcpt_id user) SPEAKS FOR (msgid msg)
+	)`
+	st := mustParse(t, sql).(*CreateTableStmt)
+	if len(st.SpeaksFor) != 2 {
+		t.Fatalf("speaks-for = %d", len(st.SpeaksFor))
+	}
+	sf := st.SpeaksFor[0]
+	if sf.AColumn != "sender_id" || sf.AType != "user" || sf.BColumn != "msgid" || sf.BType != "msg" {
+		t.Fatalf("%#v", sf)
+	}
+}
+
+func TestParseSpeaksForWithPredicate(t *testing.T) {
+	sql := `CREATE TABLE aclgroups (
+		groupid INT, forumid INT, optionid INT,
+		(groupid grp) SPEAKS FOR (forumid forum_post) IF optionid = 20
+	)`
+	st := mustParse(t, sql).(*CreateTableStmt)
+	if st.SpeaksFor[0].If == nil {
+		t.Fatal("IF predicate not parsed")
+	}
+}
+
+func TestParseSpeaksForFunctionPredicate(t *testing.T) {
+	sql := `CREATE TABLE PaperReview (
+		paperId INT,
+		reviewerId INT ENC FOR (paperId review),
+		(PCMember.contactId contact) SPEAKS FOR (paperId review) IF NoConflict(paperId, contactId)
+	)`
+	st := mustParse(t, sql).(*CreateTableStmt)
+	sf := st.SpeaksFor[0]
+	if sf.AColumn != "PCMember.contactId" {
+		t.Fatalf("A = %q", sf.AColumn)
+	}
+	fc, ok := sf.If.(*FuncCall)
+	if !ok || fc.Name != "NoConflict" || len(fc.Args) != 2 {
+		t.Fatalf("If = %#v", sf.If)
+	}
+}
+
+func TestParsePrincType(t *testing.T) {
+	st := mustParse(t, "PRINCTYPE physical_user EXTERNAL").(*PrincTypeStmt)
+	if !st.External || st.Names[0] != "physical_user" {
+		t.Fatalf("%#v", st)
+	}
+	st2 := mustParse(t, "PRINCTYPE user, msg").(*PrincTypeStmt)
+	if st2.External || len(st2.Names) != 2 {
+		t.Fatalf("%#v", st2)
+	}
+}
+
+func TestParseTransactions(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*BeginStmt); !ok {
+		t.Fatal("BEGIN")
+	}
+	if _, ok := mustParse(t, "COMMIT").(*CommitStmt); !ok {
+		t.Fatal("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*RollbackStmt); !ok {
+		t.Fatal("ROLLBACK")
+	}
+	if _, ok := mustParse(t, "ABORT").(*RollbackStmt); !ok {
+		t.Fatal("ABORT")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st := mustParse(t, "CREATE INDEX idx_name ON emp (name)").(*CreateIndexStmt)
+	if st.Table != "emp" || st.Column != "name" || st.Unique {
+		t.Fatalf("%#v", st)
+	}
+	st2 := mustParse(t, "CREATE UNIQUE INDEX u ON emp (id)").(*CreateIndexStmt)
+	if !st2.Unique {
+		t.Fatal("UNIQUE lost")
+	}
+}
+
+func TestParseLikeAndSearch(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM messages WHERE msg LIKE '%alice%'").(*SelectStmt)
+	le, ok := st.Where.(*LikeExpr)
+	if !ok {
+		t.Fatalf("where = %#v", st.Where)
+	}
+	if le.Pattern.(*StrLit).V != "%alice%" {
+		t.Fatalf("pattern = %#v", le.Pattern)
+	}
+}
+
+func TestParseInBetween(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 5 AND 10 AND c NOT IN (4)").(*SelectStmt)
+	if st.Where == nil {
+		t.Fatal("no where")
+	}
+	s := st.Where.String()
+	if !strings.Contains(s, "IN (1, 2, 3)") || !strings.Contains(s, "BETWEEN 5 AND 10") || !strings.Contains(s, "NOT IN (4)") {
+		t.Fatalf("where = %s", s)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL").(*SelectStmt)
+	s := st.Where.String()
+	if !strings.Contains(s, "a IS NULL") || !strings.Contains(s, "b IS NOT NULL") {
+		t.Fatalf("where = %s", s)
+	}
+}
+
+func TestParseHexLiteral(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE c = x'deadbeef'").(*SelectStmt)
+	be := st.Where.(*BinaryExpr)
+	bl, ok := be.R.(*BytesLit)
+	if !ok || len(bl.V) != 4 || bl.V[0] != 0xde {
+		t.Fatalf("rhs = %#v", be.R)
+	}
+}
+
+func TestParseArithPrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a + 2 * 3 = 7").(*SelectStmt)
+	// Must parse as (a + (2*3)) = 7.
+	be := st.Where.(*BinaryExpr)
+	add := be.L.(*BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("outer op = %q", add.Op)
+	}
+	if mul := add.R.(*BinaryExpr); mul.Op != "*" {
+		t.Fatalf("inner op = %q", mul.Op)
+	}
+}
+
+func TestParseBitwise(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE perms & 4 = 4").(*SelectStmt)
+	be := st.Where.(*BinaryExpr)
+	if be.Op != "=" {
+		t.Fatalf("outer = %q", be.Op)
+	}
+	if andExpr := be.L.(*BinaryExpr); andExpr.Op != "&" {
+		t.Fatalf("lhs = %#v", be.L)
+	}
+}
+
+func TestParseBoolPrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").(*SelectStmt)
+	be := st.Where.(*BinaryExpr)
+	if be.Op != "OR" {
+		t.Fatalf("root = %q, want OR", be.Op)
+	}
+	if r := be.R.(*BinaryExpr); r.Op != "AND" {
+		t.Fatalf("rhs = %q, want AND", r.Op)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a) VALUES (-5)").(*InsertStmt)
+	if st.Rows[0][0].(*IntLit).V != -5 {
+		t.Fatalf("%#v", st.Rows[0][0])
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a = ? AND b = ?").(*SelectStmt)
+	s := st.Where.String()
+	if strings.Count(s, "?") != 2 {
+		t.Fatalf("where = %s", s)
+	}
+}
+
+func TestParseMulti(t *testing.T) {
+	stmts, err := ParseMulti("BEGIN; INSERT INTO t (a) VALUES (1); COMMIT;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t -- trailing\n WHERE /* inline */ a = 1")
+	if st.(*SelectStmt).Where == nil {
+		t.Fatal("comment parsing broke WHERE")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"INSERT t VALUES (1)",
+		"CREATE TABLE t ()",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"UPDATE t SET",
+		"CREATE TABLE t (a FLOAT)",
+		"SELECT * FROM t LIMIT x",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT id, name FROM employees WHERE name = 'Alice'",
+		"SELECT COUNT(*) FROM t GROUP BY a ORDER BY b DESC LIMIT 5",
+		"INSERT INTO t (a, b) VALUES (1, 'x')",
+		"UPDATE t SET a = 2 WHERE b = 'y'",
+		"DELETE FROM t WHERE a = 1",
+		"SELECT * FROM a JOIN b ON a.i = b.i",
+	}
+	for _, q := range queries {
+		st := mustParse(t, q)
+		re, err := Parse(st.String())
+		if err != nil {
+			t.Errorf("re-parse of %q -> %q failed: %v", q, st.String(), err)
+			continue
+		}
+		if re.String() != st.String() {
+			t.Errorf("not a fixpoint: %q -> %q", st.String(), re.String())
+		}
+	}
+}
+
+func TestParseQuotedStringEscapes(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM t WHERE a = 'it''s' AND b = "dq"`).(*SelectStmt)
+	s := st.Where.String()
+	if !strings.Contains(s, "it''s") {
+		t.Fatalf("where = %s", s)
+	}
+}
+
+func TestParseTableDotStar(t *testing.T) {
+	st := mustParse(t, "SELECT t.* FROM t").(*SelectStmt)
+	cr, ok := st.Exprs[0].Expr.(*ColRef)
+	if !ok || cr.Column != "*" || cr.Table != "t" {
+		t.Fatalf("%#v", st.Exprs[0].Expr)
+	}
+}

@@ -1,0 +1,80 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser mutated fragments of valid SQL:
+// every input must either parse or return an error — never panic. This is
+// load-bearing for CryptDB, whose proxy faces arbitrary application input.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		"SELECT a, b FROM t WHERE a = 1 AND b LIKE '%x%' ORDER BY a LIMIT 3",
+		"INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+		"UPDATE t SET a = a + 1 WHERE b BETWEEN 1 AND 2",
+		"CREATE TABLE t (a INT PRIMARY KEY, b TEXT ENC FOR (a p), (a p) SPEAKS FOR (b q) IF a = 1)",
+		"DELETE FROM t WHERE a IN (1, 2, 3)",
+		"SELECT COUNT(*), SUM(x) FROM a JOIN b ON a.i = b.i GROUP BY g HAVING COUNT(*) > 1",
+	}
+	tokens := []string{"SELECT", "(", ")", ",", "'", "WHERE", "=", "*", "?", "x''", "--", "/*", "1", "FROM"}
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 5000; round++ {
+		s := seeds[rng.Intn(len(seeds))]
+		switch rng.Intn(4) {
+		case 0: // truncate
+			if len(s) > 1 {
+				s = s[:rng.Intn(len(s))]
+			}
+		case 1: // splice a random token
+			pos := rng.Intn(len(s) + 1)
+			s = s[:pos] + tokens[rng.Intn(len(tokens))] + s[pos:]
+		case 2: // delete a chunk
+			if len(s) > 4 {
+				a := rng.Intn(len(s) - 2)
+				bEnd := a + 1 + rng.Intn(len(s)-a-1)
+				s = s[:a] + s[bEnd:]
+			}
+		case 3: // duplicate a chunk
+			if len(s) > 4 {
+				a := rng.Intn(len(s) - 2)
+				bEnd := a + 1 + rng.Intn(len(s)-a-1)
+				s = s + " " + s[a:bEnd]
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", s, r)
+				}
+			}()
+			_, _ = Parse(s)
+			_, _ = ParseMulti(s + "; " + s)
+		}()
+	}
+}
+
+// TestParseMultiErrors confirms script-level error reporting.
+func TestParseMultiErrors(t *testing.T) {
+	if _, err := ParseMulti("SELECT 1; BOGUS STATEMENT; SELECT 2"); err == nil {
+		t.Fatal("want error for bad statement mid-script")
+	}
+	stmts, err := ParseMulti("  ;;; SELECT 1;; ")
+	if err != nil || len(stmts) != 1 {
+		t.Fatalf("stmts = %v, err = %v", stmts, err)
+	}
+}
+
+// TestDeeplyNestedExpressions guards recursion depth handling.
+func TestDeeplyNestedExpressions(t *testing.T) {
+	depth := 200
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	st, err := Parse("SELECT " + expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*SelectStmt); !ok {
+		t.Fatal("not a select")
+	}
+}

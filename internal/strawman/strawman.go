@@ -1,0 +1,573 @@
+// Package strawman implements the baseline design the paper compares
+// against in Figure 11: every value is stored under RND only, and each
+// query decrypts the relevant data row by row with a server-side UDF,
+// computes over the plaintext, and re-encrypts results for updates. It is
+// both less secure than CryptDB (the server sees plaintext during
+// computation) and slower (the DBMS's indexes over RND ciphertexts are
+// useless, so every predicate is a full scan through a decryption UDF).
+package strawman
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/crypto/keys"
+	"repro/internal/crypto/rnd"
+	"repro/internal/sqldb"
+	"repro/internal/sqlparser"
+)
+
+// Proxy is a strawman encrypting proxy over one DBMS.
+type Proxy struct {
+	mu     sync.Mutex
+	db     *sqldb.DB
+	mk     *keys.Master
+	tables map[string]*tableMeta
+	nTab   int
+}
+
+type tableMeta struct {
+	logical string
+	anon    string
+	cols    []colMeta
+	byName  map[string]int
+}
+
+type colMeta struct {
+	logical string
+	anon    string
+	typ     sqlparser.ColType
+}
+
+// New creates a strawman proxy.
+func New(db *sqldb.DB) (*Proxy, error) {
+	mk, err := keys.NewMaster()
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{db: db, mk: mk, tables: make(map[string]*tableMeta)}
+	p.registerUDFs()
+	return p, nil
+}
+
+// DB exposes the underlying DBMS.
+func (p *Proxy) DB() *sqldb.DB { return p.db }
+
+func (p *Proxy) key(table, col string) []byte {
+	return p.mk.Derive(table, col, "strawman", "RND")
+}
+
+func (p *Proxy) registerUDFs() {
+	// sm_dec(key, ct, iv) decrypts one RND value to plaintext at the
+	// server — the strawman's defining (and damning) operation.
+	p.db.RegisterUDF("sm_dec", func(args []sqldb.Value) (sqldb.Value, error) {
+		if len(args) != 4 {
+			return sqldb.Value{}, fmt.Errorf("sm_dec: want 4 args")
+		}
+		if args[1].IsNull() {
+			return sqldb.Null(), nil
+		}
+		key, iv := args[0].B, args[2].B
+		isInt := args[3].I == 1
+		if isInt {
+			pt, err := rnd.DecryptUint64(key, iv, uint64(args[1].I))
+			if err != nil {
+				return sqldb.Value{}, err
+			}
+			return sqldb.Int(int64(pt)), nil
+		}
+		pt, err := rnd.DecryptBytes(key, iv, args[1].B)
+		if err != nil {
+			return sqldb.Value{}, err
+		}
+		return sqldb.Text(string(pt)), nil
+	})
+
+	// sm_inc(key, ct, iv, delta) decrypts, adds, and re-encrypts — the
+	// strawman's UPDATE-inc path.
+	p.db.RegisterUDF("sm_inc", func(args []sqldb.Value) (sqldb.Value, error) {
+		if len(args) != 4 {
+			return sqldb.Value{}, fmt.Errorf("sm_inc: want 4 args")
+		}
+		if args[1].IsNull() {
+			return sqldb.Null(), nil
+		}
+		key, iv := args[0].B, args[2].B
+		pt, err := rnd.DecryptUint64(key, iv, uint64(args[1].I))
+		if err != nil {
+			return sqldb.Value{}, err
+		}
+		ct, err := rnd.Uint64(key, iv, uint64(int64(pt)+args[3].I))
+		if err != nil {
+			return sqldb.Value{}, err
+		}
+		return sqldb.Int(int64(ct)), nil
+	})
+}
+
+// Execute runs one logical statement through the strawman rewrite.
+func (p *Proxy) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch s := st.(type) {
+	case *sqlparser.CreateTableStmt:
+		return p.createTable(s)
+	case *sqlparser.CreateIndexStmt:
+		// Indexes over RND ciphertexts are useless for plaintext
+		// predicates; create them anyway, as a real deployment would.
+		tm, ok := p.tables[s.Table]
+		if !ok {
+			return nil, fmt.Errorf("strawman: no table %s", s.Table)
+		}
+		ci, ok := tm.byName[s.Column]
+		if !ok {
+			return nil, fmt.Errorf("strawman: no column %s.%s", s.Table, s.Column)
+		}
+		return p.db.Exec(&sqlparser.CreateIndexStmt{
+			Name: s.Name, Table: tm.anon, Column: tm.cols[ci].anon,
+		})
+	case *sqlparser.InsertStmt:
+		return p.execInsert(s, params)
+	case *sqlparser.SelectStmt:
+		return p.execSelect(s, params)
+	case *sqlparser.UpdateStmt:
+		return p.execUpdate(s, params)
+	case *sqlparser.DeleteStmt:
+		return p.execDelete(s, params)
+	case *sqlparser.BeginStmt, *sqlparser.CommitStmt, *sqlparser.RollbackStmt:
+		return p.db.Exec(st)
+	}
+	return nil, fmt.Errorf("strawman: unsupported statement %T", st)
+}
+
+func (p *Proxy) createTable(s *sqlparser.CreateTableStmt) (*sqldb.Result, error) {
+	if _, ok := p.tables[s.Name]; ok {
+		return nil, fmt.Errorf("strawman: table %s exists", s.Name)
+	}
+	p.nTab++
+	tm := &tableMeta{
+		logical: s.Name,
+		anon:    fmt.Sprintf("sm%d", p.nTab),
+		byName:  make(map[string]int),
+	}
+	anon := &sqlparser.CreateTableStmt{Name: tm.anon}
+	for i, cd := range s.Cols {
+		cm := colMeta{logical: cd.Name, anon: fmt.Sprintf("c%d", i+1), typ: cd.Type}
+		tm.byName[cd.Name] = len(tm.cols)
+		tm.cols = append(tm.cols, cm)
+		srvType := sqlparser.TypeBlob
+		if cd.Type == sqlparser.TypeInt {
+			srvType = sqlparser.TypeInt
+		}
+		anon.Cols = append(anon.Cols,
+			sqlparser.ColumnDef{Name: cm.anon, Type: srvType},
+			sqlparser.ColumnDef{Name: cm.anon + "_iv", Type: sqlparser.TypeBlob})
+	}
+	if _, err := p.db.Exec(anon); err != nil {
+		return nil, err
+	}
+	p.tables[s.Name] = tm
+	return &sqldb.Result{}, nil
+}
+
+func (p *Proxy) encrypt(tm *tableMeta, cm colMeta, v sqldb.Value) (ct, iv sqldb.Value, err error) {
+	if v.IsNull() {
+		return sqldb.Null(), sqldb.Null(), nil
+	}
+	ivb, err := rnd.NewIV()
+	if err != nil {
+		return sqldb.Value{}, sqldb.Value{}, err
+	}
+	key := p.key(tm.logical, cm.logical)
+	if cm.typ == sqlparser.TypeInt {
+		n, err := v.AsInt()
+		if err != nil {
+			return sqldb.Value{}, sqldb.Value{}, err
+		}
+		c, err := rnd.Uint64(key, ivb, uint64(n))
+		if err != nil {
+			return sqldb.Value{}, sqldb.Value{}, err
+		}
+		return sqldb.Int(int64(c)), sqldb.Blob(ivb), nil
+	}
+	var pt []byte
+	switch v.Kind {
+	case sqldb.KindText:
+		pt = []byte(v.S)
+	case sqldb.KindBlob:
+		pt = v.B
+	case sqldb.KindInt:
+		pt = make([]byte, 8)
+		binary.BigEndian.PutUint64(pt, uint64(v.I))
+	}
+	c, err := rnd.Bytes(key, ivb, pt)
+	if err != nil {
+		return sqldb.Value{}, sqldb.Value{}, err
+	}
+	return sqldb.Blob(c), sqldb.Blob(ivb), nil
+}
+
+func (p *Proxy) decrypt(tm *tableMeta, cm colMeta, ct, iv sqldb.Value) (sqldb.Value, error) {
+	if ct.IsNull() {
+		return sqldb.Null(), nil
+	}
+	key := p.key(tm.logical, cm.logical)
+	if cm.typ == sqlparser.TypeInt {
+		pt, err := rnd.DecryptUint64(key, iv.B, uint64(ct.I))
+		if err != nil {
+			return sqldb.Value{}, err
+		}
+		return sqldb.Int(int64(pt)), nil
+	}
+	pt, err := rnd.DecryptBytes(key, iv.B, ct.B)
+	if err != nil {
+		return sqldb.Value{}, err
+	}
+	if cm.typ == sqlparser.TypeText {
+		return sqldb.Text(string(pt)), nil
+	}
+	return sqldb.Blob(pt), nil
+}
+
+// decCall builds sm_dec(key, c, c_iv, isInt) for a column.
+func (p *Proxy) decCall(tm *tableMeta, cm colMeta, alias string) sqlparser.Expr {
+	isInt := int64(0)
+	if cm.typ == sqlparser.TypeInt {
+		isInt = 1
+	}
+	return &sqlparser.FuncCall{
+		Name: "sm_dec",
+		Args: []sqlparser.Expr{
+			&sqlparser.BytesLit{V: p.key(tm.logical, cm.logical)},
+			&sqlparser.ColRef{Table: alias, Column: cm.anon},
+			&sqlparser.ColRef{Table: alias, Column: cm.anon + "_iv"},
+			&sqlparser.IntLit{V: isInt},
+		},
+	}
+}
+
+// rewriteExpr replaces logical column references with server-side
+// decryption calls; everything else passes through.
+func (p *Proxy) rewriteExpr(e sqlparser.Expr, scope map[string]*tableMeta, params []sqldb.Value, qualify bool) (sqlparser.Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *sqlparser.ColRef:
+		tm, cm, alias, err := p.resolve(x, scope)
+		if err != nil {
+			return nil, err
+		}
+		if !qualify {
+			alias = ""
+		}
+		return p.decCall(tm, cm, alias), nil
+	case *sqlparser.BinaryExpr:
+		l, err := p.rewriteExpr(x.L, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.rewriteExpr(x.R, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BinaryExpr{Op: x.Op, L: l, R: r}, nil
+	case *sqlparser.UnaryExpr:
+		in, err := p.rewriteExpr(x.E, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.UnaryExpr{Op: x.Op, E: in}, nil
+	case *sqlparser.InExpr:
+		out := &sqlparser.InExpr{Not: x.Not}
+		in, err := p.rewriteExpr(x.E, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		out.E = in
+		for _, item := range x.List {
+			ri, err := p.rewriteExpr(item, scope, params, qualify)
+			if err != nil {
+				return nil, err
+			}
+			out.List = append(out.List, ri)
+		}
+		return out, nil
+	case *sqlparser.LikeExpr:
+		in, err := p.rewriteExpr(x.E, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.LikeExpr{E: in, Pattern: x.Pattern, Not: x.Not}, nil
+	case *sqlparser.BetweenExpr:
+		in, err := p.rewriteExpr(x.E, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.rewriteExpr(x.Lo, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.rewriteExpr(x.Hi, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.BetweenExpr{E: in, Lo: lo, Hi: hi, Not: x.Not}, nil
+	case *sqlparser.IsNullExpr:
+		in, err := p.rewriteExpr(x.E, scope, params, qualify)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.IsNullExpr{E: in, Not: x.Not}, nil
+	case *sqlparser.FuncCall:
+		out := &sqlparser.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			ra, err := p.rewriteExpr(a, scope, params, qualify)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, ra)
+		}
+		return out, nil
+	default:
+		return e, nil
+	}
+}
+
+func (p *Proxy) resolve(cr *sqlparser.ColRef, scope map[string]*tableMeta) (*tableMeta, colMeta, string, error) {
+	if cr.Table != "" {
+		tm, ok := scope[cr.Table]
+		if !ok {
+			return nil, colMeta{}, "", fmt.Errorf("strawman: no table %s", cr.Table)
+		}
+		ci, ok := tm.byName[cr.Column]
+		if !ok {
+			return nil, colMeta{}, "", fmt.Errorf("strawman: no column %s.%s", cr.Table, cr.Column)
+		}
+		return tm, tm.cols[ci], cr.Table, nil
+	}
+	var found *tableMeta
+	var fc colMeta
+	var alias string
+	for a, tm := range scope {
+		if ci, ok := tm.byName[cr.Column]; ok {
+			if found != nil && found != tm {
+				return nil, colMeta{}, "", fmt.Errorf("strawman: ambiguous column %s", cr.Column)
+			}
+			found, fc, alias = tm, tm.cols[ci], a
+		}
+	}
+	if found == nil {
+		return nil, colMeta{}, "", fmt.Errorf("strawman: no column %s", cr.Column)
+	}
+	return found, fc, alias, nil
+}
+
+func (p *Proxy) execSelect(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	scope := map[string]*tableMeta{}
+	server := &sqlparser.SelectStmt{Distinct: s.Distinct, Limit: s.Limit, Offset: s.Offset}
+	for _, ref := range s.From {
+		tm, ok := p.tables[ref.Table]
+		if !ok {
+			return nil, fmt.Errorf("strawman: no table %s", ref.Table)
+		}
+		alias := ref.Alias
+		if alias == "" {
+			alias = ref.Table
+		}
+		scope[alias] = tm
+		srvRef := sqlparser.TableRef{Table: tm.anon, Alias: alias}
+		if ref.JoinOn != nil {
+			on, err := p.rewriteExpr(ref.JoinOn, scope, params, true)
+			if err != nil {
+				return nil, err
+			}
+			srvRef.JoinOn = on
+		}
+		server.From = append(server.From, srvRef)
+	}
+
+	var names []string
+	for _, se := range s.Exprs {
+		if se.Star {
+			for alias, tm := range scope {
+				for _, cm := range tm.cols {
+					names = append(names, cm.logical)
+					server.Exprs = append(server.Exprs,
+						sqlparser.SelectExpr{Expr: p.decCall(tm, cm, alias)})
+				}
+			}
+			continue
+		}
+		re, err := p.rewriteExpr(se.Expr, scope, params, true)
+		if err != nil {
+			return nil, err
+		}
+		name := se.Alias
+		if name == "" {
+			if cr, ok := se.Expr.(*sqlparser.ColRef); ok {
+				name = cr.Column
+			} else {
+				name = se.Expr.String()
+			}
+		}
+		names = append(names, name)
+		server.Exprs = append(server.Exprs, sqlparser.SelectExpr{Expr: re})
+	}
+
+	var err error
+	if server.Where, err = p.rewriteExpr(s.Where, scope, params, true); err != nil {
+		return nil, err
+	}
+	for _, g := range s.GroupBy {
+		rg, err := p.rewriteExpr(g, scope, params, true)
+		if err != nil {
+			return nil, err
+		}
+		server.GroupBy = append(server.GroupBy, rg)
+	}
+	if server.Having, err = p.rewriteExpr(s.Having, scope, params, true); err != nil {
+		return nil, err
+	}
+	for _, o := range s.OrderBy {
+		ro, err := p.rewriteExpr(o.Expr, scope, params, true)
+		if err != nil {
+			return nil, err
+		}
+		server.OrderBy = append(server.OrderBy, sqlparser.OrderItem{Expr: ro, Desc: o.Desc})
+	}
+
+	res, err := p.db.Exec(server, params...)
+	if err != nil {
+		return nil, err
+	}
+	res.Columns = names
+	return res, nil
+}
+
+func (p *Proxy) execInsert(s *sqlparser.InsertStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	tm, ok := p.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("strawman: no table %s", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		for _, cm := range tm.cols {
+			cols = append(cols, cm.logical)
+		}
+	}
+	server := &sqlparser.InsertStmt{Table: tm.anon}
+	metas := make([]colMeta, len(cols))
+	for i, c := range cols {
+		ci, ok := tm.byName[c]
+		if !ok {
+			return nil, fmt.Errorf("strawman: no column %s.%s", s.Table, c)
+		}
+		metas[i] = tm.cols[ci]
+		server.Columns = append(server.Columns, metas[i].anon, metas[i].anon+"_iv")
+	}
+	for _, row := range s.Rows {
+		var srvRow []sqlparser.Expr
+		for i, e := range row {
+			v, err := sqldb.EvalConst(e, params)
+			if err != nil {
+				return nil, err
+			}
+			ct, iv, err := p.encrypt(tm, metas[i], v)
+			if err != nil {
+				return nil, err
+			}
+			srvRow = append(srvRow, litFor(ct), litFor(iv))
+		}
+		server.Rows = append(server.Rows, srvRow)
+	}
+	return p.db.Exec(server, params...)
+}
+
+func litFor(v sqldb.Value) sqlparser.Expr {
+	switch v.Kind {
+	case sqldb.KindNull:
+		return &sqlparser.NullLit{}
+	case sqldb.KindInt:
+		return &sqlparser.IntLit{V: v.I}
+	case sqldb.KindText:
+		return &sqlparser.StrLit{V: v.S}
+	case sqldb.KindBlob:
+		return &sqlparser.BytesLit{V: v.B}
+	}
+	return &sqlparser.NullLit{}
+}
+
+func (p *Proxy) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	tm, ok := p.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("strawman: no table %s", s.Table)
+	}
+	scope := map[string]*tableMeta{s.Table: tm}
+	where, err := p.rewriteExpr(s.Where, scope, params, false)
+	if err != nil {
+		return nil, err
+	}
+	server := &sqlparser.UpdateStmt{Table: tm.anon, Where: where}
+	for _, a := range s.Assignments {
+		ci, ok := tm.byName[a.Column]
+		if !ok {
+			return nil, fmt.Errorf("strawman: no column %s.%s", s.Table, a.Column)
+		}
+		cm := tm.cols[ci]
+		// Increment form: server-side decrypt-add-reencrypt.
+		if be, isBin := a.Value.(*sqlparser.BinaryExpr); isBin && (be.Op == "+" || be.Op == "-") {
+			if cr, isCol := be.L.(*sqlparser.ColRef); isCol && cr.Column == a.Column {
+				dv, err := sqldb.EvalConst(be.R, params)
+				if err == nil {
+					delta, err := dv.AsInt()
+					if err != nil {
+						return nil, err
+					}
+					if be.Op == "-" {
+						delta = -delta
+					}
+					server.Assignments = append(server.Assignments, sqlparser.Assignment{
+						Column: cm.anon,
+						Value: &sqlparser.FuncCall{Name: "sm_inc", Args: []sqlparser.Expr{
+							&sqlparser.BytesLit{V: p.key(tm.logical, cm.logical)},
+							&sqlparser.ColRef{Column: cm.anon},
+							&sqlparser.ColRef{Column: cm.anon + "_iv"},
+							&sqlparser.IntLit{V: delta},
+						}},
+					})
+					continue
+				}
+			}
+		}
+		v, err := sqldb.EvalConst(a.Value, params)
+		if err != nil {
+			return nil, fmt.Errorf("strawman: unsupported UPDATE expression: %w", err)
+		}
+		ct, iv, err := p.encrypt(tm, cm, v)
+		if err != nil {
+			return nil, err
+		}
+		server.Assignments = append(server.Assignments,
+			sqlparser.Assignment{Column: cm.anon, Value: litFor(ct)},
+			sqlparser.Assignment{Column: cm.anon + "_iv", Value: litFor(iv)})
+	}
+	return p.db.Exec(server, params...)
+}
+
+func (p *Proxy) execDelete(s *sqlparser.DeleteStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	tm, ok := p.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("strawman: no table %s", s.Table)
+	}
+	scope := map[string]*tableMeta{s.Table: tm}
+	where, err := p.rewriteExpr(s.Where, scope, params, false)
+	if err != nil {
+		return nil, err
+	}
+	return p.db.Exec(&sqlparser.DeleteStmt{Table: tm.anon, Where: where}, params...)
+}

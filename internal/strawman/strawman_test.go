@@ -1,0 +1,122 @@
+package strawman
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+func newP(t *testing.T) *Proxy {
+	t.Helper()
+	p, err := New(sqldb.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustExec(t *testing.T, p *Proxy, sql string, params ...sqldb.Value) *sqldb.Result {
+	t.Helper()
+	res, err := p.Execute(sql, params...)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", sql, err)
+	}
+	return res
+}
+
+func seed(t *testing.T, p *Proxy) {
+	mustExec(t, p, "CREATE TABLE emp (id INT, name TEXT, salary INT)")
+	mustExec(t, p, "INSERT INTO emp (id, name, salary) VALUES (1, 'Alice', 100), (2, 'Bob', 200), (3, 'Carol', 300)")
+}
+
+func TestEqualityViaUDF(t *testing.T) {
+	p := newP(t)
+	seed(t, p)
+	res := mustExec(t, p, "SELECT id FROM emp WHERE name = 'Bob'")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestRangeAndSum(t *testing.T) {
+	p := newP(t)
+	seed(t, p)
+	res := mustExec(t, p, "SELECT id FROM emp WHERE salary > 150")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustExec(t, p, "SELECT SUM(salary) FROM emp")
+	if res.Rows[0][0].I != 600 {
+		t.Fatalf("sum = %v", res.Rows[0][0])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	p := newP(t)
+	seed(t, p)
+	mustExec(t, p, "CREATE TABLE dept (eid INT, dname TEXT)")
+	mustExec(t, p, "INSERT INTO dept (eid, dname) VALUES (1, 'eng'), (3, 'hr')")
+	res := mustExec(t, p, "SELECT e.name, d.dname FROM emp e JOIN dept d ON e.id = d.eid WHERE d.dname = 'hr'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Carol" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestUpdateIncAndSet(t *testing.T) {
+	p := newP(t)
+	seed(t, p)
+	mustExec(t, p, "UPDATE emp SET salary = salary + 50 WHERE id = 1")
+	res := mustExec(t, p, "SELECT salary FROM emp WHERE id = 1")
+	if res.Rows[0][0].I != 150 {
+		t.Fatalf("salary = %v", res.Rows[0][0])
+	}
+	mustExec(t, p, "UPDATE emp SET name = 'Alicia' WHERE id = 1")
+	res = mustExec(t, p, "SELECT name FROM emp WHERE id = 1")
+	if res.Rows[0][0].S != "Alicia" {
+		t.Fatalf("name = %v", res.Rows[0][0])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	p := newP(t)
+	seed(t, p)
+	res := mustExec(t, p, "DELETE FROM emp WHERE salary < 250")
+	if res.Affected != 2 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+}
+
+func TestServerStoresOnlyRND(t *testing.T) {
+	p := newP(t)
+	seed(t, p)
+	for _, tn := range p.DB().TableNames() {
+		res, err := p.DB().ExecSQL("SELECT * FROM " + tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			for _, v := range row {
+				if strings.Contains(v.String(), "Alice") || strings.Contains(v.String(), "Bob") {
+					t.Fatalf("plaintext at rest in %s: %v", tn, v)
+				}
+				if v.Kind == sqldb.KindInt && (v.I == 100 || v.I == 200 || v.I == 300) {
+					t.Fatalf("plaintext int at rest in %s: %v", tn, v)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexesUselessButPresent(t *testing.T) {
+	// The strawman can create indexes, but they index RND ciphertexts:
+	// a fresh equal value gets a different ciphertext, so the index can
+	// never serve the rewritten predicate (which goes through sm_dec).
+	p := newP(t)
+	seed(t, p)
+	mustExec(t, p, "CREATE INDEX idx ON emp (id)")
+	res := mustExec(t, p, "SELECT name FROM emp WHERE id = 2")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Bob" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,376 @@
+// Package forum simulates the phpBB workload of §8.4.2: users browse
+// forums, read and write posts, and read and write private messages. Each
+// Request bundles the tens of SQL queries a phpBB HTTP request issues, so
+// throughput and latency numbers are directly comparable in shape to
+// Figures 14 and 15.
+package forum
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sqldb"
+	"repro/internal/workload"
+)
+
+// Config sizes the forum.
+type Config struct {
+	Users  int
+	Forums int
+	Posts  int // preloaded posts per forum
+	Msgs   int // preloaded private messages per user
+	Seed   int64
+	// Annotated selects the multi-principal schema (private messages and
+	// posts ENC FOR principals); otherwise the single-principal schema
+	// is used. The paper's Figure 14 runs with sensitive fields
+	// annotated.
+	Annotated bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Users == 0 {
+		c.Users = 10
+	}
+	if c.Forums == 0 {
+		c.Forums = 3
+	}
+	if c.Posts == 0 {
+		c.Posts = 20
+	}
+	if c.Msgs == 0 {
+		c.Msgs = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RequestKind is one of the phpBB request types measured in Figure 15.
+type RequestKind int
+
+// The five request kinds of Figure 15.
+const (
+	Login RequestKind = iota
+	ReadPost
+	WritePost
+	ReadMsg
+	WriteMsg
+	numKinds
+)
+
+func (k RequestKind) String() string {
+	switch k {
+	case Login:
+		return "Login"
+	case ReadPost:
+		return "R post"
+	case WritePost:
+		return "W post"
+	case ReadMsg:
+		return "R msg"
+	case WriteMsg:
+		return "W msg"
+	}
+	return fmt.Sprintf("RequestKind(%d)", int(k))
+}
+
+// Kinds lists the request kinds in display order.
+func Kinds() []RequestKind {
+	return []RequestKind{Login, ReadPost, WritePost, ReadMsg, WriteMsg}
+}
+
+// Schema returns the forum DDL. With annotations, private messages are
+// readable only by sender and recipient and posts only by forum members
+// (Figures 4 and 5).
+func Schema(annotated bool) []string {
+	if !annotated {
+		return []string{
+			"CREATE TABLE users (userid INT PRIMARY KEY, username TEXT, joined INT PLAIN)",
+			"CREATE TABLE forums (forumid INT PRIMARY KEY, fname TEXT)",
+			"CREATE TABLE posts (postid INT PRIMARY KEY, forumid INT, author INT, posted INT PLAIN, body TEXT)",
+			"CREATE TABLE privmsgs (msgid INT PRIMARY KEY, subject TEXT, msgtext TEXT)",
+			"CREATE TABLE privmsgs_to (msgid INT, rcpt_id INT, sender_id INT)",
+			"CREATE INDEX idx_posts_forum ON posts (forumid)",
+			"CREATE INDEX idx_pm_to ON privmsgs_to (rcpt_id)",
+		}
+	}
+	// The annotated schema mirrors the paper's phpBB deployment: only the
+	// notably sensitive fields (post bodies, private messages) are
+	// encrypted — for principals, per Figures 4 and 5 — while ids and
+	// timestamps stay plaintext (§3.5.2 developer annotations; Figure 9
+	// shows phpBB encrypting 23 of 563 columns).
+	return []string{
+		"PRINCTYPE physical_user EXTERNAL",
+		"PRINCTYPE puser, msg, forum_post",
+		`CREATE TABLE users (userid INT PLAIN PRIMARY KEY, username TEXT, joined INT PLAIN,
+			(username physical_user) SPEAKS FOR (userid puser))`,
+		"CREATE TABLE forums (forumid INT PLAIN PRIMARY KEY, fname TEXT)",
+		`CREATE TABLE forum_access (userid INT PLAIN, forumid INT PLAIN,
+			(userid puser) SPEAKS FOR (forumid forum_post))`,
+		`CREATE TABLE posts (postid INT PLAIN PRIMARY KEY, forumid INT PLAIN, author INT PLAIN, posted INT PLAIN,
+			body TEXT ENC FOR (forumid forum_post))`,
+		`CREATE TABLE privmsgs_to (msgid INT PLAIN, rcpt_id INT PLAIN, sender_id INT PLAIN,
+			(sender_id puser) SPEAKS FOR (msgid msg),
+			(rcpt_id puser) SPEAKS FOR (msgid msg))`,
+		`CREATE TABLE privmsgs (msgid INT PLAIN PRIMARY KEY,
+			subject TEXT ENC FOR (msgid msg),
+			msgtext TEXT ENC FOR (msgid msg))`,
+		"CREATE INDEX idx_posts_forum ON posts (forumid)",
+		"CREATE INDEX idx_pm_to ON privmsgs_to (rcpt_id)",
+	}
+}
+
+// Sim drives the workload against one executor.
+type Sim struct {
+	ex      workload.Executor
+	cfg     Config
+	rng     *rand.Rand
+	nextPID int64
+	nextMID int64
+	// login is called for Login requests in multi-principal mode; nil
+	// otherwise.
+	login func(user, password string) error
+}
+
+// NewSim builds a simulator. login may be nil for non-annotated runs.
+// Concurrent simulators must use distinct Seeds: generated post/message ids
+// are partitioned by seed.
+func NewSim(ex workload.Executor, cfg Config, login func(user, password string) error) *Sim {
+	cfg = cfg.withDefaults()
+	part := (cfg.Seed%1000 + 1) * 1_000_000
+	return &Sim{
+		ex:      ex,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed + 3)),
+		nextPID: part + int64(cfg.Forums*cfg.Posts+1),
+		nextMID: part + int64(cfg.Users*cfg.Msgs+1),
+		login:   login,
+	}
+}
+
+func password(u int) string { return fmt.Sprintf("pw-%d", u) }
+
+// body pads content to a realistic forum-post length so storage accounting
+// is comparable to the paper's phpBB database.
+func body(prefix string, rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz      "
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return prefix + " " + string(b)
+}
+
+// Username for user u.
+func Username(u int) string { return fmt.Sprintf("user%d", u) }
+
+// Load creates the schema and preloads users, forums, posts and messages.
+// In annotated mode every user is logged in during the load (senders must
+// hold keys) and stays logged in, matching the paper's active-user setup.
+func Load(ex workload.Executor, cfg Config, login func(user, password string) error) error {
+	cfg = cfg.withDefaults()
+	for _, ddl := range Schema(cfg.Annotated) {
+		if _, err := ex.Execute(ddl); err != nil {
+			return fmt.Errorf("forum: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for u := 1; u <= cfg.Users; u++ {
+		if login != nil {
+			if err := login(Username(u), password(u)); err != nil {
+				return err
+			}
+		}
+		if _, err := ex.Execute("INSERT INTO users (userid, username, joined) VALUES (?, ?, ?)",
+			sqldb.Int(int64(u)), sqldb.Text(Username(u)), sqldb.Int(1000000+int64(u))); err != nil {
+			return err
+		}
+	}
+	for f := 1; f <= cfg.Forums; f++ {
+		if _, err := ex.Execute("INSERT INTO forums (forumid, fname) VALUES (?, ?)",
+			sqldb.Int(int64(f)), sqldb.Text(fmt.Sprintf("Forum %d", f))); err != nil {
+			return err
+		}
+		if cfg.Annotated {
+			// Grant every user access to every forum's posts (the
+			// paper's workload has all clients browsing all forums).
+			for u := 1; u <= cfg.Users; u++ {
+				if _, err := ex.Execute("INSERT INTO forum_access (userid, forumid) VALUES (?, ?)",
+					sqldb.Int(int64(u)), sqldb.Int(int64(f))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	pid := int64(1)
+	for f := 1; f <= cfg.Forums; f++ {
+		for i := 0; i < cfg.Posts; i++ {
+			if _, err := ex.Execute(
+				"INSERT INTO posts (postid, forumid, author, posted, body) VALUES (?, ?, ?, ?, ?)",
+				sqldb.Int(pid), sqldb.Int(int64(f)), sqldb.Int(int64(1+rng.Intn(cfg.Users))),
+				sqldb.Int(2000000+pid), sqldb.Text(body(fmt.Sprintf("post %d forum %d", pid, f), rng, 220))); err != nil {
+				return err
+			}
+			pid++
+		}
+	}
+	mid := int64(1)
+	for u := 1; u <= cfg.Users; u++ {
+		for i := 0; i < cfg.Msgs; i++ {
+			sender := 1 + rng.Intn(cfg.Users)
+			if _, err := ex.Execute(
+				"INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (?, ?, ?)",
+				sqldb.Int(mid), sqldb.Int(int64(u)), sqldb.Int(int64(sender))); err != nil {
+				return err
+			}
+			if _, err := ex.Execute(
+				"INSERT INTO privmsgs (msgid, subject, msgtext) VALUES (?, ?, ?)",
+				sqldb.Int(mid), sqldb.Text(fmt.Sprintf("subject %d", mid)),
+				sqldb.Text(body(fmt.Sprintf("private message %d", mid), rng, 220))); err != nil {
+				return err
+			}
+			mid++
+		}
+	}
+	return nil
+}
+
+// Request executes one request of the given kind, returning the number of
+// SQL queries issued.
+func (s *Sim) Request(kind RequestKind) (int, error) {
+	u := 1 + s.rng.Intn(s.cfg.Users)
+	f := 1 + s.rng.Intn(s.cfg.Forums)
+	switch kind {
+	case Login:
+		if s.login != nil {
+			if err := s.login(Username(u), password(u)); err != nil {
+				return 0, err
+			}
+		}
+		q := []func() error{
+			func() error {
+				_, err := s.ex.Execute("SELECT userid, username FROM users WHERE username = ?", sqldb.Text(Username(u)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute("SELECT COUNT(*) FROM privmsgs_to WHERE rcpt_id = ?", sqldb.Int(int64(u)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute("SELECT forumid, fname FROM forums")
+				return err
+			},
+		}
+		return runAll(q)
+	case ReadPost:
+		q := []func() error{
+			func() error {
+				_, err := s.ex.Execute("SELECT fname FROM forums WHERE forumid = ?", sqldb.Int(int64(f)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute(
+					"SELECT postid, author, posted, body FROM posts WHERE forumid = ? ORDER BY posted DESC LIMIT 10",
+					sqldb.Int(int64(f)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute("SELECT COUNT(*) FROM posts WHERE forumid = ?", sqldb.Int(int64(f)))
+				return err
+			},
+		}
+		return runAll(q)
+	case WritePost:
+		s.nextPID++
+		pid := s.nextPID
+		q := []func() error{
+			func() error {
+				_, err := s.ex.Execute("SELECT userid FROM users WHERE userid = ?", sqldb.Int(int64(u)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute(
+					"INSERT INTO posts (postid, forumid, author, posted, body) VALUES (?, ?, ?, ?, ?)",
+					sqldb.Int(pid), sqldb.Int(int64(f)), sqldb.Int(int64(u)),
+					sqldb.Int(3000000+pid), sqldb.Text(body(fmt.Sprintf("new post %d", pid), s.rng, 220)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute("SELECT COUNT(*) FROM posts WHERE forumid = ?", sqldb.Int(int64(f)))
+				return err
+			},
+		}
+		return runAll(q)
+	case ReadMsg:
+		q := []func() error{
+			func() error {
+				_, err := s.ex.Execute(
+					"SELECT msgid, sender_id FROM privmsgs_to WHERE rcpt_id = ?", sqldb.Int(int64(u)))
+				return err
+			},
+			func() error {
+				mid := int64(1 + s.rng.Intn(s.cfg.Users*s.cfg.Msgs))
+				_, err := s.ex.Execute(
+					"SELECT subject, msgtext FROM privmsgs WHERE msgid = ?", sqldb.Int(mid))
+				return err
+			},
+		}
+		return runAll(q)
+	case WriteMsg:
+		rcpt := 1 + s.rng.Intn(s.cfg.Users)
+		s.nextMID++
+		mid := s.nextMID
+		q := []func() error{
+			func() error {
+				_, err := s.ex.Execute("SELECT userid FROM users WHERE userid = ?", sqldb.Int(int64(rcpt)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute(
+					"INSERT INTO privmsgs_to (msgid, rcpt_id, sender_id) VALUES (?, ?, ?)",
+					sqldb.Int(mid), sqldb.Int(int64(rcpt)), sqldb.Int(int64(u)))
+				return err
+			},
+			func() error {
+				_, err := s.ex.Execute(
+					"INSERT INTO privmsgs (msgid, subject, msgtext) VALUES (?, ?, ?)",
+					sqldb.Int(mid), sqldb.Text(fmt.Sprintf("subj %d", mid)),
+					sqldb.Text(body(fmt.Sprintf("message %d", mid), s.rng, 220)))
+				return err
+			},
+		}
+		return runAll(q)
+	}
+	return 0, fmt.Errorf("forum: unknown request kind %v", kind)
+}
+
+// Mix executes one request drawn from a browse-heavy distribution and
+// reports its kind.
+func (s *Sim) Mix() (RequestKind, int, error) {
+	n := s.rng.Intn(100)
+	var kind RequestKind
+	switch {
+	case n < 10:
+		kind = Login
+	case n < 50:
+		kind = ReadPost
+	case n < 70:
+		kind = WritePost
+	case n < 90:
+		kind = ReadMsg
+	default:
+		kind = WriteMsg
+	}
+	q, err := s.Request(kind)
+	return kind, q, err
+}
+
+func runAll(q []func() error) (int, error) {
+	for i, fn := range q {
+		if err := fn(); err != nil {
+			return i, err
+		}
+	}
+	return len(q), nil
+}

@@ -1,0 +1,314 @@
+// Package tpcc provides the TPC-C-derived workload of §8.4.1: the standard
+// nine-table, 92-column schema (every column encrypted in single-principal
+// mode, per the paper) with a loader and a query-mix generator producing
+// the eight query classes of Figures 11 and 12: equality selects, joins,
+// ranges, sums, deletes, inserts, constant updates, and increment updates.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sqldb"
+	"repro/internal/workload"
+)
+
+// Config sizes the generated database. Zero fields take defaults scaled for
+// in-memory runs.
+type Config struct {
+	Warehouses int
+	Districts  int // per warehouse
+	Customers  int // per district
+	Items      int
+	Orders     int // per district
+	Seed       int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Warehouses == 0 {
+		c.Warehouses = 1
+	}
+	if c.Districts == 0 {
+		c.Districts = 2
+	}
+	if c.Customers == 0 {
+		c.Customers = 20
+	}
+	if c.Items == 0 {
+		c.Items = 50
+	}
+	if c.Orders == 0 {
+		c.Orders = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Schema returns the DDL (tables + indexes) for the 92-column TPC-C schema.
+func Schema() []string {
+	return []string{
+		`CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name TEXT, w_street_1 TEXT, w_street_2 TEXT,
+			w_city TEXT, w_state TEXT, w_zip TEXT, w_tax INT, w_ytd INT)`,
+		`CREATE TABLE district (d_id INT, d_w_id INT, d_name TEXT, d_street_1 TEXT, d_street_2 TEXT,
+			d_city TEXT, d_state TEXT, d_zip TEXT, d_tax INT, d_ytd INT, d_next_o_id INT)`,
+		`CREATE TABLE customer (c_id INT, c_d_id INT, c_w_id INT, c_first TEXT, c_middle TEXT, c_last TEXT,
+			c_street_1 TEXT, c_street_2 TEXT, c_city TEXT, c_state TEXT, c_zip TEXT, c_phone TEXT,
+			c_since INT, c_credit TEXT, c_credit_lim INT, c_discount INT, c_balance INT,
+			c_ytd_payment INT, c_payment_cnt INT, c_delivery_cnt INT, c_data TEXT)`,
+		`CREATE TABLE history (h_c_id INT, h_c_d_id INT, h_c_w_id INT, h_d_id INT, h_w_id INT,
+			h_date INT, h_amount INT, h_data TEXT)`,
+		`CREATE TABLE new_order (no_o_id INT, no_d_id INT, no_w_id INT)`,
+		`CREATE TABLE orders (o_id INT, o_d_id INT, o_w_id INT, o_c_id INT, o_entry_d INT,
+			o_carrier_id INT, o_ol_cnt INT, o_all_local INT)`,
+		`CREATE TABLE order_line (ol_o_id INT, ol_d_id INT, ol_w_id INT, ol_number INT, ol_i_id INT,
+			ol_supply_w_id INT, ol_delivery_d INT, ol_quantity INT, ol_amount INT, ol_dist_info TEXT)`,
+		`CREATE TABLE item (i_id INT PRIMARY KEY, i_im_id INT, i_name TEXT, i_price INT, i_data TEXT)`,
+		`CREATE TABLE stock (s_i_id INT, s_w_id INT, s_quantity INT,
+			s_dist_01 TEXT, s_dist_02 TEXT, s_dist_03 TEXT, s_dist_04 TEXT, s_dist_05 TEXT,
+			s_dist_06 TEXT, s_dist_07 TEXT, s_dist_08 TEXT, s_dist_09 TEXT, s_dist_10 TEXT,
+			s_ytd INT, s_order_cnt INT, s_remote_cnt INT, s_data TEXT)`,
+		"CREATE INDEX idx_customer_id ON customer (c_id)",
+		"CREATE INDEX idx_orders_id ON orders (o_id)",
+		"CREATE INDEX idx_orders_cid ON orders (o_c_id)",
+		"CREATE INDEX idx_ol_oid ON order_line (ol_o_id)",
+		"CREATE INDEX idx_no_oid ON new_order (no_o_id)",
+		"CREATE INDEX idx_stock_iid ON stock (s_i_id)",
+		"CREATE INDEX idx_district_id ON district (d_id)",
+	}
+}
+
+// ColumnCount is the number of data columns in the schema (the paper's 92).
+const ColumnCount = 92
+
+// Load creates the schema and populates it.
+func Load(ex workload.Executor, cfg Config) error {
+	cfg = cfg.withDefaults()
+	for _, ddl := range Schema() {
+		if _, err := ex.Execute(ddl); err != nil {
+			return fmt.Errorf("tpcc: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if _, err := ex.Execute(
+			"INSERT INTO warehouse (w_id, w_name, w_street_1, w_street_2, w_city, w_state, w_zip, w_tax, w_ytd) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+			sqldb.Int(int64(w)), sqldb.Text(fmt.Sprintf("wh%d", w)), sqldb.Text(street(rng)), sqldb.Text(street(rng)),
+			sqldb.Text(city(rng)), sqldb.Text("MA"), sqldb.Text("021381234"), sqldb.Int(int64(rng.Intn(2000))), sqldb.Int(0)); err != nil {
+			return err
+		}
+		for d := 1; d <= cfg.Districts; d++ {
+			if _, err := ex.Execute(
+				"INSERT INTO district (d_id, d_w_id, d_name, d_street_1, d_street_2, d_city, d_state, d_zip, d_tax, d_ytd, d_next_o_id) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+				sqldb.Int(did(w, d)), sqldb.Int(int64(w)), sqldb.Text(fmt.Sprintf("district-%d", d)), sqldb.Text(street(rng)), sqldb.Text(street(rng)),
+				sqldb.Text(city(rng)), sqldb.Text("MA"), sqldb.Text("021381234"), sqldb.Int(int64(rng.Intn(2000))), sqldb.Int(0),
+				sqldb.Int(int64(cfg.Orders+1))); err != nil {
+				return err
+			}
+			for c := 1; c <= cfg.Customers; c++ {
+				id := cid(w, d, c)
+				if _, err := ex.Execute(
+					"INSERT INTO customer (c_id, c_d_id, c_w_id, c_first, c_middle, c_last, c_street_1, c_street_2, c_city, c_state, c_zip, c_phone, c_since, c_credit, c_credit_lim, c_discount, c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt, c_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+					sqldb.Int(id), sqldb.Int(did(w, d)), sqldb.Int(int64(w)),
+					sqldb.Text(fmt.Sprintf("First%d", c)), sqldb.Text("OE"), sqldb.Text(lastName(c)),
+					sqldb.Text("s1"), sqldb.Text("s2"), sqldb.Text("city"), sqldb.Text("st"), sqldb.Text("12345"),
+					sqldb.Text("555-0100"), sqldb.Int(1000000), sqldb.Text("GC"), sqldb.Int(5000000),
+					sqldb.Int(int64(rng.Intn(5000))), sqldb.Int(int64(rng.Intn(100000))),
+					sqldb.Int(0), sqldb.Int(0), sqldb.Int(0), sqldb.Text(filler(rng, 300))); err != nil {
+					return err
+				}
+			}
+			for o := 1; o <= cfg.Orders; o++ {
+				oid := ordID(w, d, o)
+				custID := cid(w, d, 1+rng.Intn(cfg.Customers))
+				nLines := 3
+				if _, err := ex.Execute(
+					"INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+					sqldb.Int(oid), sqldb.Int(did(w, d)), sqldb.Int(int64(w)), sqldb.Int(custID),
+					sqldb.Int(1000000), sqldb.Int(int64(rng.Intn(10))), sqldb.Int(int64(nLines)), sqldb.Int(1)); err != nil {
+					return err
+				}
+				for l := 1; l <= nLines; l++ {
+					if _, err := ex.Execute(
+						"INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, ol_amount, ol_dist_info) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+						sqldb.Int(oid), sqldb.Int(did(w, d)), sqldb.Int(int64(w)), sqldb.Int(int64(l)),
+						sqldb.Int(int64(1+rng.Intn(cfg.Items))), sqldb.Int(int64(w)), sqldb.Int(1000000),
+						sqldb.Int(int64(1+rng.Intn(10))), sqldb.Int(int64(rng.Intn(10000))), sqldb.Text(filler(rng, 24))); err != nil {
+						return err
+					}
+				}
+				if o > cfg.Orders*2/3 { // last third undelivered
+					if _, err := ex.Execute(
+						"INSERT INTO new_order (no_o_id, no_d_id, no_w_id) VALUES (?, ?, ?)",
+						sqldb.Int(oid), sqldb.Int(did(w, d)), sqldb.Int(int64(w))); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for i := 1; i <= cfg.Items; i++ {
+		if _, err := ex.Execute(
+			"INSERT INTO item (i_id, i_im_id, i_name, i_price, i_data) VALUES (?, ?, ?, ?, ?)",
+			sqldb.Int(int64(i)), sqldb.Int(int64(rng.Intn(10000))), sqldb.Text(fmt.Sprintf("item-%d", i)),
+			sqldb.Int(int64(100+rng.Intn(9900))), sqldb.Text(filler(rng, 35))); err != nil {
+			return err
+		}
+		for w := 1; w <= cfg.Warehouses; w++ {
+			if _, err := ex.Execute(
+				"INSERT INTO stock (s_i_id, s_w_id, s_quantity, s_dist_01, s_dist_02, s_dist_03, s_dist_04, s_dist_05, s_dist_06, s_dist_07, s_dist_08, s_dist_09, s_dist_10, s_ytd, s_order_cnt, s_remote_cnt, s_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+				sqldb.Int(int64(i)), sqldb.Int(int64(w)), sqldb.Int(int64(10+rng.Intn(90))),
+				sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)),
+				sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)), sqldb.Text(filler(rng, 24)),
+				sqldb.Int(0), sqldb.Int(0), sqldb.Int(0), sqldb.Text(filler(rng, 40))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func did(w, d int) int64      { return int64(w*100 + d) }
+func cid(w, d, c int) int64   { return int64(w*100000 + d*1000 + c) }
+func ordID(w, d, o int) int64 { return int64(w*1000000 + d*10000 + o) }
+
+// filler generates TPC-C-style random alphanumeric padding so ciphertext
+// expansion ratios are measured against realistic row sizes (c_data is
+// 300-500 chars in the standard).
+func filler(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789 "
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+func street(rng *rand.Rand) string { return fmt.Sprintf("%d main street", 1+rng.Intn(999)) }
+func city(rng *rand.Rand) string   { return "cambridge" }
+
+func lastName(c int) string {
+	syll := []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+	return syll[c%10] + syll[(c/10)%10] + syll[(c/100)%10]
+}
+
+// Class identifies one of the Figure 11 query classes.
+type Class int
+
+// The eight classes of Figures 11 and 12.
+const (
+	Equality Class = iota
+	Join
+	Range
+	Sum
+	Delete
+	Insert
+	UpdSet
+	UpdInc
+	numClasses
+)
+
+// Classes lists all classes in display order.
+func Classes() []Class {
+	return []Class{Equality, Join, Range, Sum, Delete, Insert, UpdSet, UpdInc}
+}
+
+func (c Class) String() string {
+	switch c {
+	case Equality:
+		return "Equality"
+	case Join:
+		return "Join"
+	case Range:
+		return "Range"
+	case Sum:
+		return "Sum"
+	case Delete:
+		return "Delete"
+	case Insert:
+		return "Insert"
+	case UpdSet:
+		return "Upd. set"
+	case UpdInc:
+		return "Upd. inc"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Generator produces a TPC-C-like query mix.
+type Generator struct {
+	rng     *rand.Rand
+	cfg     Config
+	nextIns int64
+}
+
+// NewGenerator builds a generator matching a loaded Config.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{rng: rand.New(rand.NewSource(cfg.Seed + 7)), cfg: cfg, nextIns: 4_000_000}
+}
+
+// mix approximates the TPC-C transaction profile in terms of the Figure 11
+// classes (weights sum to 100).
+var mix = []struct {
+	class  Class
+	weight int
+}{
+	{Equality, 35}, {Join, 14}, {Range, 6}, {Sum, 5},
+	{Delete, 3}, {Insert, 12}, {UpdSet, 13}, {UpdInc, 12},
+}
+
+// Next returns the next query in the mix.
+func (g *Generator) Next() (Class, string, []sqldb.Value) {
+	n := g.rng.Intn(100)
+	acc := 0
+	for _, m := range mix {
+		acc += m.weight
+		if n < acc {
+			sql, params := g.ForClass(m.class)
+			return m.class, sql, params
+		}
+	}
+	sql, params := g.ForClass(Equality)
+	return Equality, sql, params
+}
+
+// ForClass returns a query of the given class with fresh parameters.
+func (g *Generator) ForClass(c Class) (string, []sqldb.Value) {
+	w := 1 + g.rng.Intn(g.cfg.Warehouses)
+	d := 1 + g.rng.Intn(g.cfg.Districts)
+	cu := 1 + g.rng.Intn(g.cfg.Customers)
+	o := 1 + g.rng.Intn(g.cfg.Orders)
+	switch c {
+	case Equality:
+		return "SELECT c_first, c_last, c_balance FROM customer WHERE c_id = ?",
+			[]sqldb.Value{sqldb.Int(cid(w, d, cu))}
+	case Join:
+		return "SELECT o.o_id, c.c_last FROM orders o JOIN customer c ON o.o_c_id = c.c_id WHERE o.o_id = ?",
+			[]sqldb.Value{sqldb.Int(ordID(w, d, o))}
+	case Range:
+		return "SELECT s_i_id FROM stock WHERE s_quantity < ?",
+			[]sqldb.Value{sqldb.Int(int64(10 + g.rng.Intn(20)))}
+	case Sum:
+		return "SELECT SUM(ol_amount) FROM order_line WHERE ol_o_id = ?",
+			[]sqldb.Value{sqldb.Int(ordID(w, d, o))}
+	case Delete:
+		return "DELETE FROM new_order WHERE no_o_id = ?",
+			[]sqldb.Value{sqldb.Int(ordID(w, d, o))}
+	case Insert:
+		g.nextIns++
+		return "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, h_amount, h_data) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+			[]sqldb.Value{sqldb.Int(cid(w, d, cu)), sqldb.Int(did(w, d)), sqldb.Int(int64(w)),
+				sqldb.Int(did(w, d)), sqldb.Int(int64(w)), sqldb.Int(g.nextIns),
+				sqldb.Int(int64(g.rng.Intn(10000))), sqldb.Text(filler(g.rng, 20))}
+	case UpdSet:
+		return "UPDATE customer SET c_credit = ?, c_data = ? WHERE c_id = ?",
+			[]sqldb.Value{sqldb.Text("BC"), sqldb.Text(filler(g.rng, 280)), sqldb.Int(cid(w, d, cu))}
+	case UpdInc:
+		return "UPDATE district SET d_ytd = d_ytd + ? WHERE d_id = ?",
+			[]sqldb.Value{sqldb.Int(int64(1 + g.rng.Intn(5000))), sqldb.Int(did(w, d))}
+	}
+	return g.ForClass(Equality)
+}

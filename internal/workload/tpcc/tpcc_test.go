@@ -1,0 +1,118 @@
+package tpcc
+
+import (
+	"testing"
+
+	"repro/internal/proxy"
+	"repro/internal/sqldb"
+	"repro/internal/sqlparser"
+	"repro/internal/workload"
+)
+
+var smallCfg = Config{Warehouses: 1, Districts: 1, Customers: 5, Items: 10, Orders: 6, Seed: 1}
+
+func TestSchemaColumnCount(t *testing.T) {
+	total := 0
+	for _, ddl := range Schema() {
+		st, err := sqlparser.Parse(ddl)
+		if err != nil {
+			t.Fatalf("%s: %v", ddl, err)
+		}
+		if ct, ok := st.(*sqlparser.CreateTableStmt); ok {
+			total += len(ct.Cols)
+		}
+	}
+	if total != ColumnCount {
+		t.Fatalf("schema has %d columns, want %d (the paper's count)", total, ColumnCount)
+	}
+}
+
+func TestLoadAndMixPlain(t *testing.T) {
+	db := sqldb.New()
+	ex := workload.PlainDB{DB: db}
+	if err := Load(ex, smallCfg); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(smallCfg)
+	for i := 0; i < 200; i++ {
+		class, sql, params := g.Next()
+		if _, err := ex.Execute(sql, params...); err != nil {
+			t.Fatalf("%v query %q: %v", class, sql, err)
+		}
+	}
+}
+
+func TestLoadAndMixEncrypted(t *testing.T) {
+	db := sqldb.New()
+	p, err := proxy.New(db, proxy.Options{HOMBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(p, smallCfg); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(smallCfg)
+	for i := 0; i < 100; i++ {
+		class, sql, params := g.Next()
+		if _, err := p.Execute(sql, params...); err != nil {
+			t.Fatalf("%v query %q: %v", class, sql, err)
+		}
+	}
+}
+
+func TestEncryptedMatchesPlain(t *testing.T) {
+	// The same deterministic mix must return the same SUM results on
+	// plaintext and encrypted databases.
+	plainDB := sqldb.New()
+	plain := workload.PlainDB{DB: plainDB}
+	if err := Load(plain, smallCfg); err != nil {
+		t.Fatal(err)
+	}
+	encDB := sqldb.New()
+	p, err := proxy.New(encDB, proxy.Options{HOMBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(p, smallCfg); err != nil {
+		t.Fatal(err)
+	}
+
+	g1 := NewGenerator(smallCfg)
+	g2 := NewGenerator(smallCfg)
+	for i := 0; i < 60; i++ {
+		c1, sql1, p1 := g1.Next()
+		_, sql2, p2 := g2.Next()
+		r1, err := plain.Execute(sql1, p1...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := p.Execute(sql2, p2...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Rows) != len(r2.Rows) {
+			t.Fatalf("%v: plain %d rows, encrypted %d rows (%s)", c1, len(r1.Rows), len(r2.Rows), sql1)
+		}
+		for ri := range r1.Rows {
+			for ci := range r1.Rows[ri] {
+				v1, v2 := r1.Rows[ri][ci], r2.Rows[ri][ci]
+				if v1.IsNull() && v2.IsNull() {
+					continue
+				}
+				if !v1.Equal(v2) {
+					t.Fatalf("%v: row %d col %d: plain %v encrypted %v (%s)", c1, ri, ci, v1, v2, sql1)
+				}
+			}
+		}
+	}
+}
+
+func TestForClassCoversAll(t *testing.T) {
+	g := NewGenerator(smallCfg)
+	for _, c := range Classes() {
+		sql, _ := g.ForClass(c)
+		if sql == "" {
+			t.Fatalf("class %v produced no query", c)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateMatchesProfile(t *testing.T) {
+	p := Profile{Name: "x", None: 5, Det: 3, Join: 2, Ope: 2, Search: 1, Hom: 1, Plain: 1}
+	app := Generate(p, 9)
+	if len(app.Schema) == 0 || len(app.Queries) == 0 {
+		t.Fatal("empty app")
+	}
+	// Every query parses against some table of the schema (syntactic
+	// sanity; semantics are covered by the analysis tests).
+	for _, q := range app.Queries {
+		if !strings.HasPrefix(q.SQL, "SELECT") {
+			t.Fatalf("unexpected query %q", q.SQL)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := PaperProfiles()[0]
+	a := Generate(p, 7)
+	b := Generate(p, 7)
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("non-deterministic query count")
+	}
+	for i := range a.Queries {
+		if a.Queries[i].SQL != b.Queries[i].SQL {
+			t.Fatalf("query %d differs: %q vs %q", i, a.Queries[i].SQL, b.Queries[i].SQL)
+		}
+	}
+}
+
+func TestOddJoinFolded(t *testing.T) {
+	p := Profile{Name: "x", Join: 3, Det: 1}
+	app := Generate(p, 1)
+	joins := 0
+	for _, q := range app.Queries {
+		if strings.Contains(q.SQL, "JOIN") {
+			joins++
+		}
+	}
+	if joins != 1 { // 2 join columns -> 1 join query; odd one folded to Det
+		t.Fatalf("join queries = %d, want 1", joins)
+	}
+}
+
+func TestGenerateTraceDistributes(t *testing.T) {
+	apps := GenerateTrace(6, 0.002, 11)
+	if len(apps) != 6 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	total := 0
+	for _, a := range apps {
+		for _, ddl := range a.Schema {
+			total += countCols(ddl)
+		}
+	}
+	want := TraceProfile(0.002)
+	// Column counts match the scaled profile to within the id columns
+	// added per table.
+	if total < want.Total() {
+		t.Fatalf("total columns %d < profile total %d", total, want.Total())
+	}
+}
+
+func TestPaperProfileTotals(t *testing.T) {
+	// Profile totals must equal Figure 9's considered-column counts.
+	want := map[string]int{
+		"phpBB": 23, "HotCRP": 22, "grad-apply": 103,
+		"OpenEMR": 566, "MIT-6.02": 13, "PHP-calendar": 12,
+	}
+	for _, p := range PaperProfiles() {
+		if p.Total() != want[p.Name] {
+			t.Errorf("%s total = %d, want %d", p.Name, p.Total(), want[p.Name])
+		}
+	}
+}
+
+func TestTraceProfileScaling(t *testing.T) {
+	full := TraceProfile(1.0)
+	if full.Total() < 120000 || full.Total() > 135000 {
+		t.Fatalf("full profile total = %d, want ~128,840", full.Total())
+	}
+	small := TraceProfile(0.001)
+	if small.Total() == 0 {
+		t.Fatal("scaled profile empty")
+	}
+	// Every nonzero class survives scaling (minimum 1).
+	if small.Plain == 0 || small.Hom == 0 || small.Search == 0 {
+		t.Fatalf("classes lost in scaling: %+v", small)
+	}
+}

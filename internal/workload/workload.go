@@ -1,0 +1,43 @@
+// Package workload defines the common execution interface shared by the
+// paper's three measured configurations — unmodified DBMS, DBMS behind a
+// plain pass-through proxy, and CryptDB — plus adapters for the first two.
+package workload
+
+import (
+	"repro/internal/sqldb"
+	"repro/internal/sqlparser"
+)
+
+// Executor runs one SQL statement; sqldb.DB (via PlainDB), proxy.Proxy,
+// mp.Manager and strawman.Proxy all satisfy it.
+type Executor interface {
+	Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error)
+}
+
+// PlainDB adapts a raw sqldb.DB to Executor: the paper's "MySQL"
+// configuration.
+type PlainDB struct{ DB *sqldb.DB }
+
+// Execute parses and runs sql directly against the DBMS.
+func (p PlainDB) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	return p.DB.ExecSQL(sql, params...)
+}
+
+// Passthrough models the paper's "MySQL+proxy" configuration (Figure 14):
+// queries are parsed, shuttled and re-issued — the fixed cost of proxying
+// without any cryptography.
+type Passthrough struct{ DB *sqldb.DB }
+
+// Execute parses, re-serializes, re-parses and executes — approximating the
+// MySQL-proxy byte-shuttling and parsing overhead.
+func (p Passthrough) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	st2, err := sqlparser.Parse(st.String())
+	if err != nil {
+		return nil, err
+	}
+	return p.DB.Exec(st2, params...)
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+func TestPlainDBExecutor(t *testing.T) {
+	ex := PlainDB{DB: sqldb.New()}
+	if _, err := ex.Execute("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Execute("INSERT INTO t (a) VALUES (?)", sqldb.Int(5)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ex.Execute("SELECT a FROM t")
+	if err != nil || res.Rows[0][0].I != 5 {
+		t.Fatalf("rows = %v, err = %v", res, err)
+	}
+}
+
+func TestPassthroughRoundTrips(t *testing.T) {
+	// The pass-through proxy re-serializes and re-parses every
+	// statement; semantics must be unchanged.
+	ex := Passthrough{DB: sqldb.New()}
+	stmts := []string{
+		"CREATE TABLE t (a INT, b TEXT)",
+		"INSERT INTO t (a, b) VALUES (1, 'it''s'), (2, 'y')",
+		"UPDATE t SET b = 'z' WHERE a = 2",
+		"DELETE FROM t WHERE a = 99",
+	}
+	for _, s := range stmts {
+		if _, err := ex.Execute(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	res, err := ex.Execute("SELECT b FROM t WHERE a = 1")
+	if err != nil || res.Rows[0][0].S != "it's" {
+		t.Fatalf("rows = %v, err = %v", res, err)
+	}
+	res, err = ex.Execute("SELECT b FROM t WHERE a = ?", sqldb.Int(2))
+	if err != nil || res.Rows[0][0].S != "z" {
+		t.Fatalf("rows = %v, err = %v", res, err)
+	}
+}
+
+func TestPassthroughRejectsBadSQL(t *testing.T) {
+	ex := Passthrough{DB: sqldb.New()}
+	if _, err := ex.Execute("NOT SQL AT ALL"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
