@@ -5,6 +5,7 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -396,6 +397,132 @@ func BenchmarkAdjustableDecrypt(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
+	}
+}
+
+//
+// Bulk-load pipeline (§3.1 "batch encryption, e.g., database loads").
+//
+
+const bulkRowsPerLoad = 96
+
+// newBulkProxy builds a fresh proxy for one bulk-load benchmark arm.
+func newBulkProxy(b *testing.B, workers int) *proxy.Proxy {
+	b.Helper()
+	p, err := proxy.New(sqldb.New(), proxy.Options{HOMBits: 256, BatchWorkers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Execute("CREATE TABLE load (id INT, tag TEXT, qty INT)"); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// bulkScatter spreads keys over the OPE domain so every iteration
+// exercises fresh, non-adjacent tree paths — the bulk-load case the sorted
+// batch pass targets.
+func bulkScatter(k int) int64 { return int64(uint32(k) * 2654435761 % (1 << 31)) }
+
+// bulkInsertSQL builds one multi-row INSERT of fresh scattered values.
+func bulkInsertSQL(base int) string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO load (id, tag, qty) VALUES ")
+	for r := 0; r < bulkRowsPerLoad; r++ {
+		if r > 0 {
+			sb.WriteString(", ")
+		}
+		k := base + r
+		fmt.Fprintf(&sb, "(%d, 'tag-%d', %d)", bulkScatter(k), k%13, bulkScatter(k+1<<20))
+	}
+	return sb.String()
+}
+
+// topUpHOM keeps the Paillier r^n pool filled off the clock so the bulk
+// benchmarks measure the encryption pipeline, not pool refills (§3.5.2).
+func topUpHOM(b *testing.B, p *proxy.Proxy, need int) {
+	b.Helper()
+	if p.HOMKey().PoolSize() < need {
+		b.StopTimer()
+		if err := p.HOMKey().Precompute(4 * need); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkBulkInsert contrasts the three stages of the batched, parallel
+// encryption pipeline on cold bulk loads (a fresh proxy per iteration, as
+// in the paper's "database loads" scenario): row-at-a-time statements on
+// one goroutine (the seed's behavior), one multi-row statement on a single
+// worker (statement amortization plus the sorted ope.EncryptBatch
+// pre-pass), and the full worker pool (BatchWorkers=GOMAXPROCS).
+func BenchmarkBulkInsert(b *testing.B) {
+	// Both INT columns carry an Add onion: two HOM encryptions per row.
+	const homPerLoad = 2 * bulkRowsPerLoad
+	arm := func(workers int, load func(b *testing.B, p *proxy.Proxy)) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // proxy/key setup and HOM pool are off the clock
+				p := newBulkProxy(b, workers)
+				topUpHOM(b, p, homPerLoad)
+				b.StartTimer()
+				load(b, p)
+			}
+			b.ReportMetric(float64(b.N)*bulkRowsPerLoad/b.Elapsed().Seconds(), "rows/s")
+		}
+	}
+	oneStatement := func(b *testing.B, p *proxy.Proxy) {
+		if _, err := p.Execute(bulkInsertSQL(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("serial-rows", arm(1, func(b *testing.B, p *proxy.Proxy) {
+		for k := 0; k < bulkRowsPerLoad; k++ {
+			if _, err := p.Execute(fmt.Sprintf("INSERT INTO load (id, tag, qty) VALUES (%d, 'tag-%d', %d)",
+				bulkScatter(k), k%13, bulkScatter(k+1<<20))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	b.Run("batched-one-worker", arm(1, oneStatement))
+	b.Run("parallel-pool", arm(0, oneStatement)) // GOMAXPROCS workers
+}
+
+// BenchmarkBulkDecrypt measures result-set decryption of a 400-row SELECT
+// on the serial path vs the row-parallel worker pool.
+func BenchmarkBulkDecrypt(b *testing.B) {
+	const rows = 400
+	for _, arm := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel-pool", 0},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			p := newBulkProxy(b, arm.workers)
+			for base := 0; base < rows; base += bulkRowsPerLoad {
+				if _, err := p.Execute(bulkInsertSQL(base)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := p.Execute("SELECT id, tag, qty FROM load"); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			got := 0
+			for i := 0; i < b.N; i++ {
+				res, err := p.Execute("SELECT id, tag, qty FROM load")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got = len(res.Rows); got < rows {
+					b.Fatalf("got %d rows", got)
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(got)/b.Elapsed().Seconds(), "rows/s")
+		})
 	}
 }
 

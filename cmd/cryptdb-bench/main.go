@@ -13,6 +13,7 @@
 //	cryptdb-bench -fig storage  ciphertext storage expansion (§8.4.3)
 //	cryptdb-bench -fig adjust   onion-layer removal throughput (§8.4.4)
 //	cryptdb-bench -fig ablation design-choice ablations (OPE cache, HOM pool, indexes)
+//	cryptdb-bench -fig bulkload batched, parallel multi-row INSERT pipeline (§3.1)
 //	cryptdb-bench -fig all      everything
 package main
 
@@ -35,12 +36,13 @@ var figures = map[string]func() error{
 	"storage":  figStorage,
 	"adjust":   figAdjust,
 	"ablation": figAblation,
+	"bulkload": figBulkLoad,
 }
 
-var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation"}
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, all)")
 	flag.Parse()
 
 	if *fig == "all" {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/crypto/feistel"
@@ -238,6 +239,99 @@ func figAblation() error {
 	fmt.Printf("equality lookup:      DET index       %8v   strawman scan %8v  (%.0fx)\n",
 		tIndexed, tScan, float64(tScan)/float64(tIndexed))
 	fmt.Printf("  (%d rows; the strawman UDF-decrypts every row on every lookup)\n", rows)
+	return nil
+}
+
+// figBulkLoad reports multi-row INSERT throughput through the batched,
+// parallel encryption pipeline (§3.1 "AVL binary search trees for batch
+// encryption, e.g., database loads"): row-at-a-time statements, one
+// multi-row statement on a single worker (sorted OPE batch), and the full
+// worker pool.
+func figBulkLoad() error {
+	fmt.Println("bulk load: multi-row INSERT through the batched encryption pipeline (§3.1)")
+	const rowsPerLoad, loads = 64, 8
+
+	// Scattered keys, as in a real bulk load of non-sequential rows: this
+	// is the case the sorted batch pass targets (sequential keys already
+	// share tree prefixes in insertion order).
+	scatter := func(k int) int64 { return int64(uint32(k) * 2654435761 % (1 << 31)) }
+	insertSQL := func(base, n int) string {
+		out := "INSERT INTO load (id, tag, qty) VALUES "
+		for r := 0; r < n; r++ {
+			if r > 0 {
+				out += ", "
+			}
+			k := base + r
+			out += fmt.Sprintf("(%d, 'tag-%d', %d)", scatter(k), k%13, scatter(k+1<<20))
+		}
+		return out
+	}
+
+	// One timed pass of an arm: a fresh proxy bulk-loads loads×rowsPerLoad
+	// scattered rows. Returns the total wall time of the loads.
+	runArm := func(workers int, multiRow bool) (time.Duration, error) {
+		p, err := proxy.New(sqldb.New(), proxy.Options{HOMBits: 512, BatchWorkers: workers})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := p.Execute("CREATE TABLE load (id INT, tag TEXT, qty INT)"); err != nil {
+			return 0, err
+		}
+		// Fill the Paillier pool up front so the arms compare the
+		// encryption pipeline, not r^n refills (§3.5.2). Both INT columns
+		// (id, qty) carry an Add onion: two HOM encryptions per row.
+		if err := p.HOMKey().Precompute(2*rowsPerLoad*loads + 16); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for l := 0; l < loads; l++ {
+			base := l * rowsPerLoad
+			if multiRow {
+				if _, err := p.Execute(insertSQL(base, rowsPerLoad)); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			for r := 0; r < rowsPerLoad; r++ {
+				if _, err := p.Execute(insertSQL(base+r, 1)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	arms := []struct {
+		name     string
+		workers  int
+		multiRow bool
+	}{
+		{"row-at-a-time (serial)", 1, false},
+		{"one statement, 1 worker (batched)", 1, true},
+		{fmt.Sprintf("worker pool (%d workers)", runtime.GOMAXPROCS(0)), 0, true},
+	}
+	// Alternate the arms over several rounds and keep each arm's best
+	// pass: the minimum is robust against scheduler noise on shared boxes.
+	best := make([]time.Duration, len(arms))
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		for i, a := range arms {
+			el, err := runArm(a.workers, a.multiRow)
+			if err != nil {
+				return err
+			}
+			if best[i] == 0 || el < best[i] {
+				best[i] = el
+			}
+		}
+	}
+	for i, a := range arms {
+		fmt.Printf("%-34s %9.0f rows/s   (best of %d: %v per %d-row load)\n",
+			a.name, float64(rowsPerLoad*loads)/best[i].Seconds(), rounds, best[i]/loads, rowsPerLoad)
+	}
+	fmt.Println("  batched: one sorted ope.EncryptBatch pass per column shares node-cache prefixes")
+	fmt.Println("  pool:    remaining per-row onion work fans across BatchWorkers goroutines;")
+	fmt.Println("           its gain over the batched arm scales with GOMAXPROCS (identical at 1 core)")
 	return nil
 }
 

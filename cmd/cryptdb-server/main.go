@@ -25,9 +25,11 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"strings"
+	"time"
 
 	"repro/internal/mp"
 	"repro/internal/proxy"
@@ -99,5 +101,15 @@ func serve(conn net.Conn, ex workload.Executor) {
 		}
 		fmt.Fprintf(out, "OK %d\n", n)
 		out.Flush()
+	}
+	// A scan failure (e.g. a line over the 1 MiB buffer) would otherwise
+	// close the connection silently; tell the client why. Drain what is
+	// left of the offending input first: closing a socket with unread
+	// bytes queued can RST the ERR line away before the client reads it.
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(out, "ERR %v\n", err)
+		out.Flush()
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		io.Copy(io.Discard, conn) //nolint:errcheck // best-effort drain
 	}
 }

@@ -83,3 +83,46 @@ func TestServeEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestServeReportsScannerError sends a line over the 1 MiB scan buffer; the
+// server must answer with ERR instead of silently closing the connection.
+func TestServeReportsScannerError(t *testing.T) {
+	p, err := proxy.New(sqldb.New(), proxy.Options{HOMBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		serve(conn, p)
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	huge := make([]byte, 1<<20+64) // one line, just over the buffer
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	huge[len(huge)-1] = '\n'
+	if _, err := conn.Write(huge); err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatalf("connection closed without a response: %v", err)
+	}
+	if !strings.HasPrefix(line, "ERR") {
+		t.Fatalf("got %q, want ERR response", line)
+	}
+}

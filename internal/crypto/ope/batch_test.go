@@ -1,7 +1,9 @@
 package ope
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -46,6 +48,160 @@ func TestEncryptBatchEmpty(t *testing.T) {
 	out, err := c.EncryptBatch(nil)
 	if err != nil || len(out) != 0 {
 		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+func TestDecryptBatchRoundTrip(t *testing.T) {
+	c := New([]byte("key"))
+	rng := rand.New(rand.NewSource(11))
+	ms := make([]uint64, 50)
+	for i := range ms {
+		ms[i] = uint64(rng.Uint32())
+	}
+	cts, err := c.EncryptBatch(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decrypt through a fresh cipher so the batch cannot lean on state left
+	// behind by encryption.
+	got, err := New([]byte("key")).DecryptBatch(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms {
+		if got[i] != ms[i] {
+			t.Fatalf("roundtrip[%d] = %d, want %d", i, got[i], ms[i])
+		}
+	}
+}
+
+func TestDecryptBatchPreservesInputOrder(t *testing.T) {
+	c := New([]byte("key"))
+	ms := []uint64{900, 3, 512, 77}
+	cts, err := c.EncryptBatch(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []uint64{cts[2], cts[0], cts[3], cts[1]}
+	got, err := c.DecryptBatch(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{512, 900, 77, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decrypt[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecryptBatchInvalidCiphertext(t *testing.T) {
+	c := New([]byte("key"))
+	ct, err := c.Encrypt(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a range point that is not a valid ciphertext.
+	bad := ct
+	for {
+		bad++
+		if _, err := c.Decrypt(bad); err != nil {
+			break
+		}
+	}
+	if _, err := c.DecryptBatch([]uint64{ct, bad}); err == nil {
+		t.Fatal("want error for invalid ciphertext in batch")
+	}
+}
+
+func TestDecryptBatchEmpty(t *testing.T) {
+	c := New([]byte("key"))
+	out, err := c.DecryptBatch(nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}
+
+// TestEncryptConcurrentSameValues hammers one cipher with goroutines that
+// repeatedly encrypt the same small value set; the in-flight consolidation
+// must hand every caller the same ciphertexts the serial reference produces
+// (run under -race in CI).
+func TestEncryptConcurrentSameValues(t *testing.T) {
+	c := New([]byte("key"))
+	ref := New([]byte("key"))
+	vals := []uint64{7, 99, 12345, 1 << 30, 42}
+	want := make([]uint64, len(vals))
+	for i, m := range vals {
+		ct, err := ref.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ct
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := (g + i) % len(vals)
+				ct, err := c.Encrypt(vals[k])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ct != want[k] {
+					errs <- fmt.Errorf("Encrypt(%d) = %d, want %d", vals[k], ct, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEncryptConcurrentWithDisableCache races DisableCache against
+// encryptors; results must stay correct throughout.
+func TestEncryptConcurrentWithDisableCache(t *testing.T) {
+	c := New([]byte("key"))
+	want, err := New([]byte("key")).Encrypt(4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				ct, err := c.Encrypt(4242)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if ct != want {
+					errs <- fmt.Errorf("Encrypt(4242) = %d, want %d", ct, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.DisableCache()
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

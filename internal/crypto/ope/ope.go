@@ -40,7 +40,16 @@ type Cipher struct {
 	mu        sync.Mutex
 	nodeCache map[nodeKey]uint64 // (domain, range) interval -> split point x
 	leafCache map[uint64]uint64  // plaintext -> ciphertext
+	inflight  map[uint64]*inflightEnc
 	useCache  bool
+}
+
+// inflightEnc coordinates concurrent Encrypt calls for the same plaintext:
+// the first caller computes, later callers wait for its result instead of
+// redundantly recomputing the full HGD walk.
+type inflightEnc struct {
+	done chan struct{}
+	ct   uint64
 }
 
 type nodeKey struct {
@@ -77,6 +86,7 @@ func NewWithBits(key []byte, domainBits, rangeBits uint) (*Cipher, error) {
 		rangeBits:  rangeBits,
 		nodeCache:  make(map[nodeKey]uint64),
 		leafCache:  make(map[uint64]uint64),
+		inflight:   make(map[uint64]*inflightEnc),
 		useCache:   true,
 	}, nil
 }
@@ -89,6 +99,7 @@ func (c *Cipher) DisableCache() {
 	c.useCache = false
 	c.nodeCache = make(map[nodeKey]uint64)
 	c.leafCache = make(map[uint64]uint64)
+	c.inflight = make(map[uint64]*inflightEnc)
 }
 
 // domainMax returns the largest encryptable plaintext.
@@ -107,24 +118,42 @@ func (c *Cipher) rangeMax() uint64 {
 }
 
 // Encrypt maps m to its order-preserving ciphertext.
+//
+// Concurrent calls for the same plaintext are coalesced: the first caller
+// performs the HGD walk while the rest wait on its result, so bulk loads
+// fanned across goroutines never duplicate tree work.
 func (c *Cipher) Encrypt(m uint64) (uint64, error) {
 	if m > c.domainMax() {
 		return 0, fmt.Errorf("ope: plaintext %d outside domain [0, 2^%d)", m, c.domainBits)
 	}
-	if c.useCache {
-		c.mu.Lock()
-		if ct, ok := c.leafCache[m]; ok {
-			c.mu.Unlock()
-			return ct, nil
-		}
+	c.mu.Lock()
+	if !c.useCache {
 		c.mu.Unlock()
+		return c.walk(m, 0, c.domainMax(), 0, c.rangeMax(), nil), nil
 	}
+	if ct, ok := c.leafCache[m]; ok {
+		c.mu.Unlock()
+		return ct, nil
+	}
+	if fl, ok := c.inflight[m]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		return fl.ct, nil
+	}
+	fl := &inflightEnc{done: make(chan struct{})}
+	c.inflight[m] = fl
+	c.mu.Unlock()
+
 	ct := c.walk(m, 0, c.domainMax(), 0, c.rangeMax(), nil)
-	if c.useCache {
-		c.mu.Lock()
-		c.leafCache[m] = ct
-		c.mu.Unlock()
-	}
+
+	c.mu.Lock()
+	// DisableCache may have swapped the maps mid-walk; these writes then
+	// land on dead maps, which is harmless.
+	c.leafCache[m] = ct
+	delete(c.inflight, m)
+	c.mu.Unlock()
+	fl.ct = ct
+	close(fl.done)
 	return ct, nil
 }
 
@@ -146,6 +175,31 @@ func (c *Cipher) EncryptBatch(ms []uint64) ([]uint64, error) {
 			return nil, err
 		}
 		out[i] = ct
+	}
+	return out, nil
+}
+
+// DecryptBatch decrypts many ciphertexts at once, visiting them in sorted
+// order so consecutive values share the longest possible tree-path prefixes
+// in the node cache — the decryption counterpart of EncryptBatch, for bulk
+// consumers (exports, re-encryption sweeps) that hold whole ciphertext
+// columns. The proxy's regular result decryption rarely touches OPE (Eq
+// reads go through DET; only MIN/MAX results decrypt Ord, one value per
+// group), so it decrypts per row instead. Results are returned in the
+// order of the input slice; any invalid ciphertext fails the whole batch.
+func (c *Cipher) DecryptBatch(cts []uint64) ([]uint64, error) {
+	idx := make([]int, len(cts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cts[idx[a]] < cts[idx[b]] })
+	out := make([]uint64, len(cts))
+	for _, i := range idx {
+		m, err := c.Decrypt(cts[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
 	}
 	return out, nil
 }
@@ -225,21 +279,22 @@ func (c *Cipher) split(dlo, dhi, rlo, rhi uint64) (drawn, y uint64) {
 	y = rlo + half - 1
 
 	key := nodeKey{dlo, dhi, rlo, rhi}
-	if c.useCache {
-		c.mu.Lock()
+	c.mu.Lock()
+	useCache := c.useCache // snapshot: DisableCache may race with a walk
+	if useCache {
 		if cached, ok := c.nodeCache[key]; ok {
 			c.mu.Unlock()
 			return cached, y
 		}
-		c.mu.Unlock()
 	}
+	c.mu.Unlock()
 
 	m := dhi - dlo + 1     // domain size (white balls); dhi > dlo here
 	black := width - m + 1 // N - m, computed without forming N
 	coins := prf.NewStream(c.key, []byte("node"), encode4(dlo, dhi, rlo, rhi))
 	drawn = hgd.Sample(half, m, black, coins)
 
-	if c.useCache {
+	if useCache {
 		c.mu.Lock()
 		c.nodeCache[key] = drawn
 		c.mu.Unlock()

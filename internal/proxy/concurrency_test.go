@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -76,6 +77,107 @@ func TestConcurrentQueriesDuringAdjustment(t *testing.T) {
 	}
 	if res.Rows[0][0].I != want {
 		t.Fatalf("sum = %v, want %d", res.Rows[0][0], want)
+	}
+}
+
+// TestConcurrentBulkInsertSelect drives many goroutines issuing multi-row
+// INSERTs through the batched, parallel pipeline while others SELECT over
+// the same table (forcing DET/OPE adjustments mid-load); counts and sums
+// must come out exact. Run with -race in CI.
+func TestConcurrentBulkInsertSelect(t *testing.T) {
+	db := sqldb.New()
+	p, err := New(db, Options{HOMBits: 256, BatchWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, p, "CREATE TABLE bulk (k INT, grp TEXT, val INT)")
+
+	const (
+		writers     = 6
+		stmtsPerGor = 5
+		rowsPerStmt = 12
+		totalRows   = writers * stmtsPerGor * rowsPerStmt
+	)
+	buildInsert := func(base int) string {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO bulk (k, grp, val) VALUES ")
+		for r := 0; r < rowsPerStmt; r++ {
+			if r > 0 {
+				sb.WriteString(", ")
+			}
+			k := base + r
+			fmt.Fprintf(&sb, "(%d, 'g%d', %d)", k, k%4, k*3)
+		}
+		return sb.String()
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+4)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for s := 0; s < stmtsPerGor; s++ {
+				base := (g*stmtsPerGor + s) * rowsPerStmt
+				if _, err := p.Execute(buildInsert(base)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					if _, err := p.Execute("SELECT COUNT(*) FROM bulk"); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // forces OPE adjustment concurrently with bulk loads
+					if _, err := p.Execute("SELECT k FROM bulk WHERE val > ?", sqldb.Int(100)); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // forces DET adjustment
+					if _, err := p.Execute("SELECT val FROM bulk WHERE grp = ?", sqldb.Text("g1")); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	res := mustExec(t, p, "SELECT COUNT(*) FROM bulk")
+	if res.Rows[0][0].I != totalRows {
+		t.Fatalf("count = %v, want %d", res.Rows[0][0], totalRows)
+	}
+	res = mustExec(t, p, "SELECT SUM(val) FROM bulk")
+	want := int64(0)
+	for k := 0; k < totalRows; k++ {
+		want += int64(k * 3)
+	}
+	if res.Rows[0][0].I != want {
+		t.Fatalf("sum = %v, want %d", res.Rows[0][0], want)
+	}
+	// Every k must be present exactly once, in decryptable form.
+	res = mustExec(t, p, "SELECT k FROM bulk ORDER BY k")
+	if len(res.Rows) != totalRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), totalRows)
+	}
+	for i, row := range res.Rows {
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d: k = %v", i, row[0])
+		}
 	}
 }
 

@@ -454,16 +454,20 @@ func (p *Proxy) decodeResult(res *sqldb.Result, plan *selectPlan) (*sqldb.Result
 			keys []sqldb.Value
 		}
 		ks := make([]keyed, len(rows))
-		for i, row := range rows {
+		if err := forEachRow(p.batchWorkers(), len(rows), func(i int) error {
+			row := rows[i]
 			ks[i].row = row
 			ks[i].keys = make([]sqldb.Value, len(plan.sortKeys))
 			for j, sk := range plan.sortKeys {
 				v, err := sk.dec(row)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				ks[i].keys[j] = v
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		sort.SliceStable(ks, func(i, j int) bool {
 			for k, sk := range plan.sortKeys {
@@ -495,17 +499,27 @@ func (p *Proxy) decodeResult(res *sqldb.Result, plan *selectPlan) (*sqldb.Result
 	}
 
 	out := &sqldb.Result{Columns: plan.names}
-	for _, row := range rows {
+	if len(rows) == 0 {
+		return out, nil
+	}
+	// Row-parallel decryption: each worker decrypts whole rows into their
+	// original slots, so output order matches the serial path exactly.
+	decrypted := make([][]sqldb.Value, len(rows))
+	if err := forEachRow(p.batchWorkers(), len(rows), func(r int) error {
 		logical := make([]sqldb.Value, len(plan.decs))
 		for i, dec := range plan.decs {
-			v, err := dec(row)
+			v, err := dec(rows[r])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			logical[i] = v
 		}
-		out.Rows = append(out.Rows, logical)
+		decrypted[r] = logical
+		return nil
+	}); err != nil {
+		return nil, err
 	}
+	out.Rows = decrypted
 	return out, nil
 }
 
@@ -573,12 +587,15 @@ func (p *Proxy) execInsert(s *sqlparser.InsertStmt, params []sqldb.Value) (*sqld
 		}
 	}
 
-	for _, exprRow := range s.Rows {
+	// Evaluate every row's logical values first (needed for ENC FOR owner
+	// resolution and the OPE batch pre-pass), and pre-assign rids in row
+	// order so parallel encryption cannot reorder them.
+	logicalRows := make([][]sqldb.Value, len(s.Rows))
+	rids := make([]int64, len(s.Rows))
+	for r, exprRow := range s.Rows {
 		if len(exprRow) != len(colMeta) {
 			return nil, fmt.Errorf("proxy: INSERT has %d values for %d columns", len(exprRow), len(colMeta))
 		}
-		// Evaluate the logical values first (needed for ENC FOR owner
-		// resolution).
 		logical := make([]sqldb.Value, len(exprRow))
 		for i, e := range exprRow {
 			v, err := sqldb.EvalConst(e, params)
@@ -587,47 +604,73 @@ func (p *Proxy) execInsert(s *sqlparser.InsertStmt, params []sqldb.Value) (*sqld
 			}
 			logical[i] = v
 		}
-		ownerValue := func(ownerCol string) (sqldb.Value, bool) {
-			for i, cm := range colMeta {
-				if cm.Logical == ownerCol {
-					return logical[i], true
-				}
-			}
-			return sqldb.Value{}, false
-		}
-
-		row := []sqlparser.Expr{&sqlparser.IntLit{V: atomic.AddInt64(&tm.nextRid, 1)}}
-		for i, cm := range colMeta {
-			v := logical[i]
-			switch {
-			case cm.Plain:
-				row = append(row, valueToExpr(v))
-			case cm.EncFor != nil:
-				if p.princ == nil {
-					return nil, fmt.Errorf("proxy: column %s.%s is ENC FOR a principal; enable multi-principal mode",
-						s.Table, cm.Logical)
-				}
-				ov, ok := ownerValue(cm.EncFor.OwnerColumn)
-				if !ok {
-					return nil, fmt.Errorf("proxy: INSERT into %s must set owner column %s for ENC FOR column %s",
-						s.Table, cm.EncFor.OwnerColumn, cm.Logical)
-				}
-				ct, err := p.princ.EncryptFor(cm.EncFor.PrincType, ov.String(), tm.Logical, cm.Logical, v)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, valueToExpr(ct))
-			default:
-				vals, err := p.encryptRowValue(cm, v)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, vals...)
-			}
-		}
-		server.Rows = append(server.Rows, row)
+		logicalRows[r] = logical
+		rids[r] = atomic.AddInt64(&tm.nextRid, 1)
 	}
+
+	// §3.1 batch optimization: encrypt each column's Ord plaintexts in one
+	// sorted pass, then fan the remaining per-row onion work across the
+	// worker pool. Rows land at their original index.
+	p.prewarmOPE(colMeta, logicalRows)
+	serverRows := make([][]sqlparser.Expr, len(s.Rows))
+	err := forEachRow(p.batchWorkers(), len(s.Rows), func(r int) error {
+		row, err := p.encryptInsertRow(tm, colMeta, logicalRows[r], rids[r])
+		if err != nil {
+			return err
+		}
+		serverRows[r] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	server.Rows = serverRows
 	return p.db.Exec(server)
+}
+
+// encryptInsertRow produces the server-side expression row (rid plus every
+// onion column literal) for one logical INSERT row. It is called from the
+// batch worker pool and must only use concurrency-safe proxy state.
+func (p *Proxy) encryptInsertRow(tm *TableMeta, colMeta []*ColumnMeta, logical []sqldb.Value, rid int64) ([]sqlparser.Expr, error) {
+	ownerValue := func(ownerCol string) (sqldb.Value, bool) {
+		for i, cm := range colMeta {
+			if cm.Logical == ownerCol {
+				return logical[i], true
+			}
+		}
+		return sqldb.Value{}, false
+	}
+
+	row := []sqlparser.Expr{&sqlparser.IntLit{V: rid}}
+	for i, cm := range colMeta {
+		v := logical[i]
+		switch {
+		case cm.Plain:
+			row = append(row, valueToExpr(v))
+		case cm.EncFor != nil:
+			if p.princ == nil {
+				return nil, fmt.Errorf("proxy: column %s.%s is ENC FOR a principal; enable multi-principal mode",
+					tm.Logical, cm.Logical)
+			}
+			ov, ok := ownerValue(cm.EncFor.OwnerColumn)
+			if !ok {
+				return nil, fmt.Errorf("proxy: INSERT into %s must set owner column %s for ENC FOR column %s",
+					tm.Logical, cm.EncFor.OwnerColumn, cm.Logical)
+			}
+			ct, err := p.princ.EncryptFor(cm.EncFor.PrincType, ov.String(), tm.Logical, cm.Logical, v)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, valueToExpr(ct))
+		default:
+			vals, err := p.encryptRowValue(cm, v)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, vals...)
+		}
+	}
+	return row, nil
 }
 
 // encryptRowValue produces the onion column literals plus IV for one value.

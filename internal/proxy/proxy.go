@@ -24,6 +24,21 @@ type Options struct {
 	// DisableOPECache turns off the OPE node cache (for the ablation
 	// benchmark reproducing the paper's 25 ms -> 7 ms improvement).
 	DisableOPECache bool
+	// BatchWorkers bounds the worker pool of the batched encryption
+	// pipeline: multi-row INSERT encryption and result-set decryption fan
+	// per-row onion work across this many goroutines, after each column's
+	// Ord-onion plaintexts are pre-encrypted through ope.EncryptBatch so
+	// the sorted traversal shares node-cache prefixes (§3.1's "AVL binary
+	// search trees for batch encryption, e.g., database loads"). Row
+	// ordering of statements and results is unaffected.
+	//
+	// 0 (the default) uses runtime.GOMAXPROCS(0) workers; 1 runs all
+	// per-row work serially on the calling goroutine, as the seed did
+	// (the ablation baseline). Values larger than the row count are
+	// clamped. The ope.EncryptBatch pre-pass applies to any multi-row
+	// INSERT independent of this knob (disable it with DisableOPECache);
+	// ciphertexts and row order are identical on every setting.
+	BatchWorkers int
 	// DisableInProxySort sends ORDER BY without LIMIT to the server
 	// (revealing OPE) instead of sorting decrypted results in the proxy
 	// (§3.5.1). In-proxy sorting is the default, as in the paper's
