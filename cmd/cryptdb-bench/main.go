@@ -14,6 +14,7 @@
 //	cryptdb-bench -fig adjust   onion-layer removal throughput (§8.4.4)
 //	cryptdb-bench -fig ablation design-choice ablations (OPE cache, HOM pool, indexes)
 //	cryptdb-bench -fig bulkload batched, parallel multi-row INSERT pipeline (§3.1)
+//	cryptdb-bench -fig rangescan ordered OPE indexes vs full scans (§3.3)
 //	cryptdb-bench -fig all      everything
 package main
 
@@ -24,25 +25,26 @@ import (
 )
 
 var figures = map[string]func() error{
-	"7":        fig7,
-	"8":        fig8,
-	"9":        fig9,
-	"10":       fig10,
-	"11":       fig11,
-	"12":       fig12,
-	"13":       fig13,
-	"14":       fig14,
-	"15":       fig15,
-	"storage":  figStorage,
-	"adjust":   figAdjust,
-	"ablation": figAblation,
-	"bulkload": figBulkLoad,
+	"7":         fig7,
+	"8":         fig8,
+	"9":         fig9,
+	"10":        fig10,
+	"11":        fig11,
+	"12":        fig12,
+	"13":        fig13,
+	"14":        fig14,
+	"15":        fig15,
+	"storage":   figStorage,
+	"adjust":    figAdjust,
+	"ablation":  figAblation,
+	"bulkload":  figBulkLoad,
+	"rangescan": figRangeScan,
 }
 
-var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload"}
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, all)")
 	flag.Parse()
 
 	if *fig == "all" {

@@ -33,6 +33,16 @@ type Key struct {
 	lambda *big.Int // lcm(p-1, q-1)
 	mu     *big.Int // (L(g^lambda mod n^2))^-1 mod n
 
+	// CRT decryption state (Paillier §7): exponentiating mod p² and q²
+	// separately with the half-width exponents p-1 and q-1 is ~4x cheaper
+	// than one full-width exponentiation mod n². All nil for keys restored
+	// without their factorization; Decrypt then takes the slow path.
+	p, q     *big.Int
+	p2, q2   *big.Int // p², q²
+	pm1, qm1 *big.Int // p-1, q-1
+	hp, hq   *big.Int // (L_p(g^(p-1) mod p²))^-1 mod p, and mod-q twin
+	pInvQ    *big.Int // p^-1 mod q, for the CRT recombination
+
 	mu2  sync.Mutex
 	pool []*big.Int // precomputed r^n mod n^2 values
 }
@@ -73,8 +83,41 @@ func GenerateKey(bits int) (*Key, error) {
 		if mu == nil {
 			continue // degenerate; retry
 		}
-		return &Key{N: n, N2: n2, G: g, lambda: lambda, mu: mu}, nil
+
+		// CRT decryption constants.
+		p2 := new(big.Int).Mul(p, p)
+		q2 := new(big.Int).Mul(q, q)
+		hp := crtH(g, p, p2, pm1)
+		hq := crtH(g, q, q2, qm1)
+		pInvQ := new(big.Int).ModInverse(p, q)
+		if hp == nil || hq == nil || pInvQ == nil {
+			continue // degenerate; retry
+		}
+		return &Key{
+			N: n, N2: n2, G: g, lambda: lambda, mu: mu,
+			p: p, q: q, p2: p2, q2: q2, pm1: pm1, qm1: qm1,
+			hp: hp, hq: hq, pInvQ: pInvQ,
+		}, nil
 	}
+}
+
+// crtH computes (L_p(g^(p-1) mod p²))^-1 mod p, the per-prime decryption
+// constant, where L_p(x) = (x-1)/p. Returns nil when not invertible.
+func crtH(g, p, p2, pm1 *big.Int) *big.Int {
+	gp := new(big.Int).Exp(g, pm1, p2)
+	l := lFunc(gp, p)
+	l.Mod(l, p)
+	return new(big.Int).ModInverse(l, p)
+}
+
+// StripFactors discards the key's prime factorization, modeling a key
+// restored from serialized (N, lambda, mu) material only. Decrypt falls
+// back to the single full-width exponentiation path.
+func (k *Key) StripFactors() {
+	k.p, k.q = nil, nil
+	k.p2, k.q2 = nil, nil
+	k.pm1, k.qm1 = nil, nil
+	k.hp, k.hq, k.pInvQ = nil, nil, nil
 }
 
 // lFunc computes L(x) = (x-1)/n.
@@ -164,15 +207,34 @@ func (k *Key) EncryptInt64(m int64) (*big.Int, error) {
 	return k.Encrypt(b)
 }
 
-// Decrypt recovers the plaintext: m = L(c^lambda mod n^2) · mu mod n.
+// Decrypt recovers the plaintext. With the factorization available it uses
+// the CRT: m_p = L_p(c^(p-1) mod p²)·h_p mod p (and the mod-q twin), then
+// recombines — two half-width exponentiations with half-width exponents in
+// place of one full-width one. Without factors it computes the textbook
+// m = L(c^lambda mod n^2) · mu mod n.
 func (k *Key) Decrypt(c *big.Int) (*big.Int, error) {
 	if c.Sign() <= 0 || c.Cmp(k.N2) >= 0 {
 		return nil, errors.New("hom: ciphertext out of range")
 	}
-	clambda := new(big.Int).Exp(c, k.lambda, k.N2)
-	m := lFunc(clambda, k.N)
-	m.Mul(m, k.mu)
-	return m.Mod(m, k.N), nil
+	if k.p == nil {
+		clambda := new(big.Int).Exp(c, k.lambda, k.N2)
+		m := lFunc(clambda, k.N)
+		m.Mul(m, k.mu)
+		return m.Mod(m, k.N), nil
+	}
+	cp := new(big.Int).Exp(new(big.Int).Mod(c, k.p2), k.pm1, k.p2)
+	mp := lFunc(cp, k.p)
+	mp.Mul(mp, k.hp).Mod(mp, k.p)
+
+	cq := new(big.Int).Exp(new(big.Int).Mod(c, k.q2), k.qm1, k.q2)
+	mq := lFunc(cq, k.q)
+	mq.Mul(mq, k.hq).Mod(mq, k.q)
+
+	// CRT: m = m_p + p·((m_q - m_p)·p^-1 mod q), which lies in [0, n).
+	u := new(big.Int).Sub(mq, mp)
+	u.Mul(u, k.pInvQ).Mod(u, k.q)
+	m := new(big.Int).Mul(u, k.p)
+	return m.Add(m, mp), nil
 }
 
 // DecryptInt64 decrypts and decodes the signed representation used by

@@ -220,3 +220,112 @@ func TestGenerateKeyTooSmall(t *testing.T) {
 		t.Fatal("want error for tiny modulus")
 	}
 }
+
+// withoutFactors clones the key's serializable private material (N, lambda,
+// mu) only, as a key deserialized without its factorization would look.
+func withoutFactors(k *Key) *Key {
+	return &Key{N: k.N, N2: k.N2, G: k.G, lambda: k.lambda, mu: k.mu}
+}
+
+func TestDecryptCRTMatchesTextbook(t *testing.T) {
+	k := testKey(t)
+	if k.p == nil {
+		t.Fatal("generated key should carry its factors")
+	}
+	slow := withoutFactors(k)
+	for _, m := range []int64{0, 1, 2, 42, -1, -7, 1 << 40, -(1 << 40), 999999937} {
+		ct, err := k.EncryptInt64(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := k.DecryptInt64(ct)
+		if err != nil {
+			t.Fatalf("CRT decrypt(%d): %v", m, err)
+		}
+		ref, err := slow.DecryptInt64(ct)
+		if err != nil {
+			t.Fatalf("textbook decrypt(%d): %v", m, err)
+		}
+		if fast != m || ref != m {
+			t.Fatalf("decrypt(%d): CRT %d, textbook %d", m, fast, ref)
+		}
+	}
+}
+
+func TestDecryptCRTQuick(t *testing.T) {
+	k := testKey(t)
+	slow := withoutFactors(k)
+	f := func(m int64) bool {
+		ct, err := k.EncryptInt64(m)
+		if err != nil {
+			return false
+		}
+		a, errA := k.DecryptInt64(ct)
+		b, errB := slow.DecryptInt64(ct)
+		return errA == nil && errB == nil && a == m && b == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripFactors(t *testing.T) {
+	k, err := GenerateKey(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.EncryptInt64(1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.StripFactors()
+	if k.p != nil {
+		t.Fatal("factors not stripped")
+	}
+	m, err := k.DecryptInt64(ct)
+	if err != nil || m != 1234 {
+		t.Fatalf("fallback decrypt: %d, %v", m, err)
+	}
+}
+
+// benchKeyPair returns the shared bench key plus its factor-stripped twin.
+func benchKeyPair(b *testing.B) (*Key, *Key) {
+	b.Helper()
+	testKeyOnce.Do(func() {
+		k, err := GenerateKey(512)
+		if err != nil {
+			b.Fatalf("GenerateKey: %v", err)
+		}
+		testKeyVal = k
+	})
+	return testKeyVal, withoutFactors(testKeyVal)
+}
+
+func BenchmarkDecryptCRT(b *testing.B) {
+	k, _ := benchKeyPair(b)
+	ct, err := k.EncryptInt64(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.DecryptInt64(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecryptNoCRT(b *testing.B) {
+	_, slow := benchKeyPair(b)
+	fast, _ := benchKeyPair(b)
+	ct, err := fast.EncryptInt64(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slow.DecryptInt64(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/onion"
 	"repro/internal/sqlparser"
@@ -88,9 +89,11 @@ func (p *Proxy) createTable(st *sqlparser.CreateTableStmt) error {
 
 // createIndex remembers the application's index request and materializes
 // indexes on the onion layers that support them. Per §3.3, indexes are
-// built on DET/JOIN/OPE ciphertexts but never on RND/HOM/SEARCH; since our
-// DBMS substrate provides hash (equality) indexes, the proxy indexes the Eq
-// onion once it is at DET and the JAdj onion once joins expose it.
+// built on DET/JOIN/OPE ciphertexts but never on RND/HOM/SEARCH: the proxy
+// hash-indexes the Eq onion once it is at DET, the JAdj onion once joins
+// expose it, and builds an ordered (range) index on the Ord onion once it
+// sits at OPE — so one application CREATE INDEX yields both the equality
+// and the range index, exactly as a B-tree over plaintext would serve both.
 func (p *Proxy) createIndex(st *sqlparser.CreateIndexStmt) error {
 	tm, ok := p.tables[st.Table]
 	if !ok {
@@ -100,9 +103,18 @@ func (p *Proxy) createIndex(st *sqlparser.CreateIndexStmt) error {
 	if cm == nil {
 		return fmt.Errorf("proxy: no column %s.%s", st.Table, st.Column)
 	}
+	using := strings.ToUpper(st.Using)
+	if using == "ORDERED" {
+		using = "BTREE"
+	}
+	switch using {
+	case "", "HASH", "BTREE":
+	default:
+		return fmt.Errorf("proxy: unknown index type %q", st.Using)
+	}
 	if cm.Plain {
 		_, err := p.db.Exec(&sqlparser.CreateIndexStmt{
-			Name: st.Name, Table: tm.Anon, Column: cm.Anon, Unique: st.Unique,
+			Name: st.Name, Table: tm.Anon, Column: cm.Anon, Unique: st.Unique, Using: st.Using,
 		})
 		return err
 	}
@@ -111,6 +123,7 @@ func (p *Proxy) createIndex(st *sqlparser.CreateIndexStmt) error {
 	}
 	cm.wantIndex = true
 	cm.wantUnique = st.Unique
+	cm.wantUsing = using
 	return p.materializeIndexes(cm)
 }
 
@@ -120,12 +133,19 @@ func (p *Proxy) materializeIndexes(cm *ColumnMeta) error {
 	if !cm.wantIndex {
 		return nil
 	}
-	if st := cm.Onions[onion.Eq]; st != nil && st.Current() == onion.DET && !cm.idxEq {
+	// USING BTREE asks for a range-only index: skip the Eq hash index
+	// unless it must enforce UNIQUE. USING HASH suppresses the ordered
+	// index below. The JAdj index is proxy-internal (§3.4 joins probe by
+	// equality) and ignores the clause.
+	if st := cm.Onions[onion.Eq]; st != nil && st.Current() == onion.DET && !cm.idxEq &&
+		(cm.wantUsing != "BTREE" || cm.wantUnique) {
+		// DET ciphertexts only support equality: hash index, no ordered.
 		stmt := &sqlparser.CreateIndexStmt{
 			Name:   cm.Table.Anon + "_" + cm.Anon + "_eq_idx",
 			Table:  cm.Table.Anon,
 			Column: cm.onionCol(onion.Eq),
 			Unique: cm.wantUnique,
+			Using:  "HASH",
 		}
 		if _, err := p.db.Exec(stmt); err != nil {
 			return err
@@ -137,11 +157,29 @@ func (p *Proxy) materializeIndexes(cm *ColumnMeta) error {
 			Name:   cm.Table.Anon + "_" + cm.Anon + "_jadj_idx",
 			Table:  cm.Table.Anon,
 			Column: cm.onionCol(onion.JAdj),
+			Using:  "HASH",
 		}
 		if _, err := p.db.Exec(stmt); err != nil {
 			return err
 		}
 		cm.idxJadj = true
+	}
+	// OPE ciphertexts preserve plaintext order, so an ordered index over
+	// them serves range predicates, ORDER BY ... LIMIT and MIN/MAX (§3.3).
+	// The Ord onion starts under RND; this materializes lazily after the
+	// first order-class query peels it (lowerTo re-invokes us).
+	if st := cm.Onions[onion.Ord]; st != nil && st.Current() == onion.OPE && !cm.idxOrd &&
+		cm.wantUsing != "HASH" {
+		stmt := &sqlparser.CreateIndexStmt{
+			Name:   cm.Table.Anon + "_" + cm.Anon + "_ord_idx",
+			Table:  cm.Table.Anon,
+			Column: cm.onionCol(onion.Ord),
+			Using:  "BTREE",
+		}
+		if _, err := p.db.Exec(stmt); err != nil {
+			return err
+		}
+		cm.idxOrd = true
 	}
 	return nil
 }

@@ -1,0 +1,46 @@
+package proxy
+
+import (
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+func TestCreateIndexUsingValidated(t *testing.T) {
+	p, err := New(sqldb.New(), Options{HOMBits: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute("CREATE TABLE t (a INT, b INT, c INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute("CREATE INDEX bad ON t (a) USING SPLAY"); err == nil {
+		t.Fatal("want error for unknown index type on an encrypted column")
+	}
+	if _, err := p.Execute("CREATE INDEX ia ON t (a) USING HASH"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute("CREATE INDEX ib ON t (b) USING BTREE"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute("INSERT INTO t (a, b, c) VALUES (1, 2, 3), (4, 5, 6)"); err != nil {
+		t.Fatal(err)
+	}
+	// Peel Eq and Ord on both columns so every index the clause allows
+	// would have materialized.
+	for _, q := range []string{
+		"SELECT c FROM t WHERE a = 1", "SELECT c FROM t WHERE a > 0",
+		"SELECT c FROM t WHERE b = 2", "SELECT c FROM t WHERE b > 0",
+	} {
+		if _, err := p.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	ca, cb := p.Table("t").Col("a"), p.Table("t").Col("b")
+	if !ca.idxEq || ca.idxOrd {
+		t.Fatalf("USING HASH: idxEq=%v idxOrd=%v", ca.idxEq, ca.idxOrd)
+	}
+	if cb.idxEq || !cb.idxOrd {
+		t.Fatalf("USING BTREE: idxEq=%v idxOrd=%v", cb.idxEq, cb.idxOrd)
+	}
+}

@@ -12,13 +12,33 @@ import (
 
 // Execute parses and runs one logical SQL statement through the proxy:
 // analyze -> adjust onions -> rewrite -> run on the DBMS -> decrypt (§3,
-// steps 1-4).
+// steps 1-4). Parsed statements are memoized in a bounded LRU keyed by the
+// SQL text, so repeated statement shapes (the common case for parameterized
+// workloads) skip the parser entirely.
 func (p *Proxy) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
-	st, err := sqlparser.Parse(sql)
+	st, err := p.parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	return p.ExecuteStmt(st, params...)
+}
+
+// parse consults the AST cache before invoking the parser. Cached ASTs are
+// shared read-only across concurrent Execute calls; nothing in the proxy or
+// the DBMS mutates a parsed statement.
+func (p *Proxy) parse(sql string) (sqlparser.Statement, error) {
+	if p.astCache == nil || len(sql) > astCacheMaxSQL {
+		return sqlparser.Parse(sql)
+	}
+	if st, ok := p.astCache.get(sql); ok {
+		return st, nil
+	}
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	p.astCache.put(sql, st)
+	return st, nil
 }
 
 // ExecuteStmt runs a pre-parsed statement.

@@ -79,8 +79,10 @@ type ColumnMeta struct {
 	// DET/JOIN/OPE layers only, so they wait for adjustment).
 	wantIndex  bool
 	wantUnique bool
+	wantUsing  string // "", "HASH" or "BTREE" (normalized)
 	idxEq      bool
 	idxJadj    bool
+	idxOrd     bool
 }
 
 // groupRoot finds the column's join transitivity-group representative with

@@ -44,6 +44,10 @@ type Options struct {
 	// (§3.5.1). In-proxy sorting is the default, as in the paper's
 	// analysis.
 	DisableInProxySort bool
+	// ASTCacheSize bounds the LRU cache of parsed statements keyed by SQL
+	// text, so repeated statements skip the parser. 0 uses the default
+	// (1024 entries); a negative value disables caching.
+	ASTCacheSize int
 	// Training makes the proxy analyze and record onion adjustments
 	// without encrypting or executing anything (§3.5.1 training mode).
 	Training bool
@@ -70,6 +74,8 @@ type Stats struct {
 	OnionAdjustments int64
 	Resyncs          int64
 	InProxySorts     int64
+	ASTCacheHits     int64
+	ASTCacheMisses   int64
 }
 
 // Proxy is a single-principal CryptDB proxy bound to one DBMS. Queries that
@@ -88,8 +94,9 @@ type Proxy struct {
 	homKey  *hom.Key
 	joinPRF []byte // K0 shared by all JOIN-ADJ columns (§3.4)
 
-	opts  Options
-	stats Stats
+	opts     Options
+	stats    Stats
+	astCache *astCache // nil when disabled
 
 	// training-mode log of would-be adjustments.
 	trainLog []TrainEvent
@@ -137,6 +144,13 @@ func NewWithMaster(db *sqldb.DB, mk *keys.Master, opts Options) (*Proxy, error) 
 		joinPRF: mk.DeriveLabel("joinadj-shared-prf"),
 		opts:    opts,
 	}
+	if opts.ASTCacheSize >= 0 {
+		size := opts.ASTCacheSize
+		if size == 0 {
+			size = 1024
+		}
+		p.astCache = newASTCache(size)
+	}
 	p.registerUDFs()
 	return p, nil
 }
@@ -160,7 +174,11 @@ func (p *Proxy) SetPrincipalCrypto(pc PrincipalCrypto) {
 func (p *Proxy) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	out := p.stats
+	if p.astCache != nil {
+		out.ASTCacheHits, out.ASTCacheMisses = p.astCache.counters()
+	}
+	return out
 }
 
 // TrainingLog returns the events recorded in training mode.

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,32 @@ type DB struct {
 	// "server-side" cost the paper's throughput figures measure (the
 	// proxy ran on a separate machine in their testbed).
 	busyNanos int64
+
+	// Planner counters (atomics; see PlanCounters).
+	fullScans, eqScans, rangeScans, orderedScans, minMaxFast int64
+}
+
+// PlanCounters tallies the scan planner's access-path decisions: how many
+// statements seeded from a full scan, a hash-index equality lookup, or an
+// ordered-index range scan, and how many SELECTs were answered in index
+// order (ORDER BY ... LIMIT) or from index endpoints (MIN/MAX).
+type PlanCounters struct {
+	FullScans    int64
+	EqScans      int64
+	RangeScans   int64
+	OrderedScans int64
+	MinMaxIndex  int64
+}
+
+// PlanCounters returns a snapshot of the planner's access-path tallies.
+func (db *DB) PlanCounters() PlanCounters {
+	return PlanCounters{
+		FullScans:    atomic.LoadInt64(&db.fullScans),
+		EqScans:      atomic.LoadInt64(&db.eqScans),
+		RangeScans:   atomic.LoadInt64(&db.rangeScans),
+		OrderedScans: atomic.LoadInt64(&db.orderedScans),
+		MinMaxIndex:  atomic.LoadInt64(&db.minMaxFast),
+	}
 }
 
 // BusyNanos reports cumulative statement execution time.
@@ -216,7 +243,28 @@ func (db *DB) execCreateIndex(s *sqlparser.CreateIndexStmt) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqldb: no table %s", s.Table)
 	}
-	return &Result{}, t.addIndex(s.Column, s.Unique)
+	switch strings.ToUpper(s.Using) {
+	case "":
+		// MySQL's default index is a B-tree serving both equality and
+		// range; our substrate splits that into a hash index plus an
+		// ordered index.
+		if err := t.addIndex(s.Column, s.Unique); err != nil {
+			return nil, err
+		}
+		return &Result{}, t.addOrdIndex(s.Column)
+	case "HASH":
+		return &Result{}, t.addIndex(s.Column, s.Unique)
+	case "BTREE", "ORDERED":
+		if s.Unique {
+			// Uniqueness is enforced through a hash index; the ordered
+			// index only accelerates ranges.
+			if err := t.addIndex(s.Column, true); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{}, t.addOrdIndex(s.Column)
+	}
+	return nil, fmt.Errorf("sqldb: unknown index type %q", s.Using)
 }
 
 //
@@ -305,8 +353,8 @@ func (db *DB) rollback() (*Result, error) {
 				db.txnMu.Unlock()
 				return nil, fmt.Errorf("sqldb: rollback reinsert: %w", err)
 			}
-		case 2: // undo cell update
-			op.table.updateCell(op.slot, op.pos, op.old)
+		case 2: // undo cell update (unchecked: the old value was valid)
+			op.table.updateCellUnchecked(op.slot, op.pos, op.old)
 		}
 	}
 	db.inTxn = false

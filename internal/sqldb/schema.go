@@ -13,16 +13,17 @@ type Column struct {
 }
 
 // Table is the in-memory storage for one table: a row store plus hash
-// indexes. Rows are append-only slots; deleted rows become nil tombstones
-// and slots are reused via a free list.
+// (equality) and ordered (range) indexes. Rows are append-only slots;
+// deleted rows become nil tombstones and slots are reused via a free list.
 type Table struct {
-	Name    string
-	Cols    []Column
-	colIdx  map[string]int
-	rows    [][]Value
-	free    []int
-	indexes map[string]*hashIndex // column name -> index
-	live    int
+	Name       string
+	Cols       []Column
+	colIdx     map[string]int
+	rows       [][]Value
+	free       []int
+	indexes    map[string]*hashIndex // column name -> equality index
+	ordIndexes map[string]*ordIndex  // column name -> ordered index
+	live       int
 }
 
 type hashIndex struct {
@@ -30,14 +31,84 @@ type hashIndex struct {
 	pos    int
 	unique bool
 	m      map[string][]int // value key -> row slots
+	// kindCount tracks entries per Value kind (the Key encoding's leading
+	// tag byte). Like the ordered index, an equality lookup by key is only
+	// trusted when the stored kinds cannot coerce against the probe value
+	// in ways a key comparison misses.
+	kindCount [4]int
+}
+
+// addSlot appends a slot under key, maintaining the kind tally.
+func (idx *hashIndex) addSlot(key string, slot int) {
+	idx.m[key] = append(idx.m[key], slot)
+	if k := int(key[0]); k < len(idx.kindCount) {
+		idx.kindCount[k]++
+	}
+}
+
+// removeSlot drops one slot under key, maintaining the kind tally; a no-op
+// when the slot is not indexed under the key.
+func (idx *hashIndex) removeSlot(key string, slot int) {
+	slots := idx.m[key]
+	for i, s := range slots {
+		if s == slot {
+			slots[i] = slots[len(slots)-1]
+			idx.m[key] = slots[:len(slots)-1]
+			if k := int(key[0]); k < len(idx.kindCount) {
+				idx.kindCount[k]--
+			}
+			break
+		}
+	}
+	if len(idx.m[key]) == 0 {
+		delete(idx.m, key)
+	}
+}
+
+// soleKindOf reports the single non-NULL kind in a tally, shared by the
+// hash and ordered indexes.
+func soleKindOf(kindCount [4]int) (Kind, bool) {
+	kind, kinds := KindNull, 0
+	for k, c := range kindCount {
+		if Kind(k) == KindNull || c == 0 {
+			continue
+		}
+		kinds++
+		kind = Kind(k)
+	}
+	return kind, kinds <= 1
+}
+
+func (idx *hashIndex) soleKind() (Kind, bool) { return soleKindOf(idx.kindCount) }
+
+// eqSlots resolves an equality bound through the index, or reports ok=false
+// when stored kinds could coerce against the bound (e.g. a text '5' probing
+// an integer column), in which case the caller must fall back to a scan.
+func (idx *hashIndex) eqSlots(v Value) ([]int, bool) {
+	kind, homogeneous := idx.soleKind()
+	if !homogeneous {
+		return nil, false
+	}
+	if kind == KindNull {
+		return nil, true // empty or all-NULL: equality matches nothing
+	}
+	cv, ok := coerceOrdBound(v, kind)
+	if !ok {
+		// An incoercible bound of a different kind: the per-row coercing
+		// comparison could still match (or error); only a scan preserves
+		// those semantics.
+		return nil, false
+	}
+	return idx.m[cv.Key()], true
 }
 
 func newTable(name string, cols []Column) *Table {
 	t := &Table{
-		Name:    name,
-		Cols:    cols,
-		colIdx:  make(map[string]int, len(cols)),
-		indexes: make(map[string]*hashIndex),
+		Name:       name,
+		Cols:       cols,
+		colIdx:     make(map[string]int, len(cols)),
+		indexes:    make(map[string]*hashIndex),
+		ordIndexes: make(map[string]*ordIndex),
 	}
 	for i, c := range cols {
 		t.colIdx[c.Name] = i
@@ -74,11 +145,32 @@ func (t *Table) addIndex(column string, unique bool) error {
 		if unique && len(idx.m[key]) > 0 {
 			return fmt.Errorf("sqldb: duplicate value for unique index on %s.%s", t.Name, column)
 		}
-		idx.m[key] = append(idx.m[key], slot)
+		idx.addSlot(key, slot)
 	}
 	t.indexes[column] = idx
 	return nil
 }
+
+// addOrdIndex builds an ordered (range) index over an existing column.
+func (t *Table) addOrdIndex(column string) error {
+	pos := t.ColumnIndex(column)
+	if pos < 0 {
+		return fmt.Errorf("sqldb: no column %s.%s to index", t.Name, column)
+	}
+	if _, ok := t.ordIndexes[column]; ok {
+		return nil // idempotent
+	}
+	ix := newOrdIndex(column, pos)
+	t.scan(func(slot int, row []Value) bool {
+		ix.insert(row[pos], slot)
+		return true
+	})
+	t.ordIndexes[column] = ix
+	return nil
+}
+
+// ordIndex returns the ordered index on column, or nil.
+func (t *Table) ordIndex(column string) *ordIndex { return t.ordIndexes[column] }
 
 // insertRow places a row into a slot and maintains indexes, returning the
 // slot number.
@@ -98,8 +190,10 @@ func (t *Table) insertRow(row []Value) (int, error) {
 		t.rows = append(t.rows, row)
 	}
 	for _, idx := range t.indexes {
-		key := row[idx.pos].Key()
-		idx.m[key] = append(idx.m[key], slot)
+		idx.addSlot(row[idx.pos].Key(), slot)
+	}
+	for _, ix := range t.ordIndexes {
+		ix.insert(row[ix.pos], slot)
 	}
 	t.live++
 	return slot, nil
@@ -112,7 +206,10 @@ func (t *Table) deleteRow(slot int) []Value {
 		return nil
 	}
 	for _, idx := range t.indexes {
-		removeSlot(idx, row[idx.pos].Key(), slot)
+		idx.removeSlot(row[idx.pos].Key(), slot)
+	}
+	for _, ix := range t.ordIndexes {
+		ix.remove(row[ix.pos], slot)
 	}
 	t.rows[slot] = nil
 	t.free = append(t.free, slot)
@@ -120,43 +217,69 @@ func (t *Table) deleteRow(slot int) []Value {
 	return row
 }
 
-// updateCell replaces one cell, maintaining any index on that column.
-func (t *Table) updateCell(slot, pos int, v Value) {
+// updateCell replaces one cell, maintaining indexes on that column. It
+// rejects values that would duplicate another row's under a UNIQUE index,
+// mirroring insertRow (an UPDATE must not silently break uniqueness).
+func (t *Table) updateCell(slot, pos int, v Value) error {
+	if err := t.checkUpdateUnique(slot, pos, v); err != nil {
+		return err
+	}
+	t.updateCellUnchecked(slot, pos, v)
+	return nil
+}
+
+// checkUpdateUnique reports whether writing v into (slot, pos) would
+// violate a UNIQUE index on that column.
+func (t *Table) checkUpdateUnique(slot, pos int, v Value) error {
+	for _, idx := range t.indexes {
+		if idx.pos != pos || !idx.unique {
+			continue
+		}
+		for _, s := range idx.m[v.Key()] {
+			if s != slot {
+				return fmt.Errorf("sqldb: unique index violation on %s.%s", t.Name, idx.column)
+			}
+		}
+	}
+	return nil
+}
+
+// updateCellUnchecked replaces one cell without uniqueness checks; the
+// rollback path uses it directly because undo records restore values that
+// were valid when logged.
+func (t *Table) updateCellUnchecked(slot, pos int, v Value) {
 	row := t.rows[slot]
 	old := row[pos]
 	for _, idx := range t.indexes {
 		if idx.pos != pos {
 			continue
 		}
-		removeSlot(idx, old.Key(), slot)
-		key := v.Key()
-		idx.m[key] = append(idx.m[key], slot)
+		idx.removeSlot(old.Key(), slot)
+		idx.addSlot(v.Key(), slot)
+	}
+	for _, ix := range t.ordIndexes {
+		if ix.pos != pos {
+			continue
+		}
+		ix.remove(old, slot)
+		ix.insert(v, slot)
 	}
 	row[pos] = v
 }
 
-func removeSlot(idx *hashIndex, key string, slot int) {
-	slots := idx.m[key]
-	for i, s := range slots {
-		if s == slot {
-			slots[i] = slots[len(slots)-1]
-			idx.m[key] = slots[:len(slots)-1]
-			break
-		}
-	}
-	if len(idx.m[key]) == 0 {
-		delete(idx.m, key)
-	}
-}
-
-// lookup returns the row slots whose indexed column equals v, and whether an
-// index existed for the column.
+// lookup returns the row slots whose indexed column equals v. ok=false when
+// no index exists or when the stored kinds could coerce against v in ways a
+// key lookup cannot see — the caller must then fall back to a scan, which
+// preserves SQL's coercing comparison semantics.
 func (t *Table) lookup(column string, v Value) ([]int, bool) {
 	idx, ok := t.indexes[column]
 	if !ok {
 		return nil, false
 	}
-	return idx.m[v.Key()], true
+	if v.IsNull() {
+		return nil, true // equality with NULL matches nothing
+	}
+	return idx.eqSlots(v)
 }
 
 // scan invokes fn for every live row until fn returns false.

@@ -3,6 +3,7 @@ package sqldb
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sqlparser"
 )
@@ -17,12 +18,8 @@ func (db *DB) execSelect(s *sqlparser.SelectStmt, params []Value) (*Result, erro
 		sc.addTable(ref.Alias, t)
 	}
 
-	tuples, err := db.produceTuples(s, sc, params)
-	if err != nil {
-		return nil, err
-	}
-
-	// Detect aggregation anywhere in the projection / HAVING / ORDER BY.
+	// Detect aggregation anywhere in the projection / HAVING / ORDER BY,
+	// up front so the index fast paths know the query shape.
 	var aggCalls []*sqlparser.FuncCall
 	for _, se := range s.Exprs {
 		if !se.Star {
@@ -36,14 +33,202 @@ func (db *DB) execSelect(s *sqlparser.SelectStmt, params []Value) (*Result, erro
 		collectAggCalls(db, o.Expr, &aggCalls)
 	}
 
+	if len(s.GroupBy) == 0 {
+		if len(aggCalls) > 0 {
+			if res, ok, err := db.tryIndexMinMax(s, sc, params); ok {
+				return res, err
+			}
+		} else if res, ok, err := db.tryOrderedSelect(s, sc, params); ok {
+			return res, err
+		}
+	}
+
+	tuples, err := db.produceTuples(s, sc, params)
+	if err != nil {
+		return nil, err
+	}
+
 	if len(s.GroupBy) > 0 || len(aggCalls) > 0 {
 		return db.selectGrouped(s, sc, tuples, aggCalls, params)
 	}
 	return db.selectPlain(s, sc, tuples, params)
 }
 
-// produceTuples evaluates the FROM clause (joins) and the WHERE filter,
-// using hash indexes for equality predicates where available.
+// tryOrderedSelect serves single-table, non-aggregate SELECTs whose ORDER
+// BY is one indexed column straight from the ordered index: rows stream out
+// in index order (no materialize-then-sort), a sargable range on the same
+// column bounds the walk, and a LIMIT terminates it early (§3.3: ORDER BY,
+// LIMIT run on OPE ciphertexts using ordinary ordered indexes). Returns
+// ok=false to fall back to the general path.
+func (db *DB) tryOrderedSelect(s *sqlparser.SelectStmt, sc *scope, params []Value) (*Result, bool, error) {
+	if len(sc.tabs) != 1 || s.Having != nil || len(s.OrderBy) != 1 {
+		return nil, false, nil
+	}
+	items := db.resolveOrderBy(s)
+	cr, ok := items[0].Expr.(*sqlparser.ColRef)
+	if !ok {
+		return nil, false, nil
+	}
+	ti, pos, err := sc.resolve(cr.Table, cr.Column)
+	if err != nil || ti != 0 {
+		return nil, false, nil
+	}
+	t := sc.tabs[0].t
+	col := t.Cols[pos].Name
+	ix := t.ordIndexes[col]
+	if ix == nil {
+		return nil, false, nil
+	}
+	if _, homogeneous := ix.soleKind(); !homogeneous {
+		return nil, false, nil
+	}
+
+	// Bound the walk with any sargable constraints on the ORDER BY column;
+	// other conjuncts filter row by row below.
+	conj := conjuncts(s.Where)
+	rng := ordRange{all: true}
+	if b := db.sargBounds(conj, sc, 0, params)[col]; b != nil {
+		if b.bad {
+			return nil, false, nil // a scan preserves evaluation errors
+		}
+		if b.impossible {
+			rng = ordRange{empty: true}
+		} else if r, ok := ix.rangeFor(b); ok {
+			rng = r
+		} else {
+			return nil, false, nil
+		}
+	}
+
+	cols, projExprs, err := db.projectionPlan(s, sc)
+	if err != nil {
+		return nil, true, err
+	}
+
+	// With a LIMIT (and no DISTINCT collapsing rows afterwards), stop as
+	// soon as offset+limit rows matched.
+	want := -1
+	if s.Limit != nil && !s.Distinct {
+		want = int(*s.Limit)
+		if s.Offset != nil {
+			want += int(*s.Offset)
+		}
+	}
+
+	res := &Result{Columns: cols}
+	var walkErr error
+	visit := func(n *ordNode) bool {
+		for _, slot := range n.slots {
+			row := t.rows[slot]
+			if row == nil {
+				continue
+			}
+			tup := tuple{row}
+			if s.Where != nil {
+				ctx := &evalCtx{db: db, scope: sc, tup: tup, params: params}
+				v, err := ctx.eval(s.Where)
+				if err != nil {
+					walkErr = err
+					return false
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			out, err := db.projectRow(projExprs, sc, tup, params, nil)
+			if err != nil {
+				walkErr = err
+				return false
+			}
+			res.Rows = append(res.Rows, out)
+			if want >= 0 && len(res.Rows) >= want {
+				return false
+			}
+		}
+		return true
+	}
+	if items[0].Desc {
+		ix.descendRange(rng, visit)
+	} else {
+		ix.ascendRange(rng, visit)
+	}
+	if walkErr != nil {
+		return nil, true, walkErr
+	}
+	atomic.AddInt64(&db.orderedScans, 1)
+	if s.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	res.Rows = applyLimit(res.Rows, s.Limit, s.Offset)
+	return res, true, nil
+}
+
+// tryIndexMinMax answers `SELECT MIN(col) / MAX(col) FROM t` projections
+// from the endpoints of ordered indexes without touching any row (§3.3:
+// MIN/MAX run on OPE ciphertexts). Returns ok=false to fall back.
+func (db *DB) tryIndexMinMax(s *sqlparser.SelectStmt, sc *scope, params []Value) (*Result, bool, error) {
+	if len(sc.tabs) != 1 || s.Where != nil || s.Having != nil || len(s.OrderBy) != 0 {
+		return nil, false, nil
+	}
+	t := sc.tabs[0].t
+	aggVals := make(map[string]Value, len(s.Exprs))
+	for _, se := range s.Exprs {
+		if se.Star {
+			return nil, false, nil
+		}
+		fc, ok := se.Expr.(*sqlparser.FuncCall)
+		if !ok || (fc.Name != "MIN" && fc.Name != "MAX") || fc.Star || fc.Distinct || len(fc.Args) != 1 {
+			return nil, false, nil
+		}
+		cr, ok := fc.Args[0].(*sqlparser.ColRef)
+		if !ok {
+			return nil, false, nil
+		}
+		ti, pos, err := sc.resolve(cr.Table, cr.Column)
+		if err != nil || ti != 0 {
+			return nil, false, nil
+		}
+		ix := t.ordIndexes[t.Cols[pos].Name]
+		if ix == nil {
+			return nil, false, nil
+		}
+		if _, homogeneous := ix.soleKind(); !homogeneous {
+			return nil, false, nil
+		}
+		var n *ordNode
+		if fc.Name == "MIN" {
+			n = ix.minNonNull()
+		} else {
+			n = ix.maxNonNull()
+		}
+		v := Null()
+		if n != nil {
+			v = n.val
+		}
+		aggVals[fc.String()] = v
+	}
+
+	cols, projExprs, err := db.projectionPlan(s, sc)
+	if err != nil {
+		return nil, true, err
+	}
+	row, err := db.projectRow(projExprs, sc, nil, params, aggVals)
+	if err != nil {
+		return nil, true, err
+	}
+	atomic.AddInt64(&db.minMaxFast, 1)
+	res := &Result{Columns: cols, Rows: [][]Value{row}}
+	if s.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	res.Rows = applyLimit(res.Rows, s.Limit, s.Offset)
+	return res, true, nil
+}
+
+// produceTuples evaluates the FROM clause (joins) and the WHERE filter.
+// Access paths are planned per table: hash indexes serve equality
+// predicates and equijoin probes, ordered indexes serve range predicates,
+// and a comma join seeds from the most selective table.
 func (db *DB) produceTuples(s *sqlparser.SelectStmt, sc *scope, params []Value) ([]tuple, error) {
 	if len(s.From) == 0 {
 		// SELECT without FROM: one empty tuple, then WHERE.
@@ -53,41 +238,79 @@ func (db *DB) produceTuples(s *sqlparser.SelectStmt, sc *scope, params []Value) 
 
 	conj := conjuncts(s.Where)
 
-	// Seed the first table's rows, via an index when an equality
-	// predicate binds one of its indexed columns to a constant.
-	var tuples []tuple
-	first := sc.tabs[0]
-	seeded := false
-	for _, pred := range conj {
-		col, val, ok := db.constEquality(pred, sc, 0, params)
-		if !ok {
-			continue
+	// Access paths are planned lazily: costing a range access walks the
+	// ordered index, and tables reached through equijoin probes may never
+	// consult their own path at all. Only a comma join (which may reorder
+	// around the most selective table) needs every cost up front.
+	accesses := make([]access, len(sc.tabs))
+	planned := make([]bool, len(sc.tabs))
+	accessFor := func(ti int) access {
+		if !planned[ti] {
+			accesses[ti] = db.bestAccess(sc.tabs[ti].t, sc, ti, conj, params)
+			planned[ti] = true
 		}
-		if slots, has := first.t.lookup(col, val); has {
-			for _, slot := range slots {
-				tup := make(tuple, len(sc.tabs))
-				tup[0] = first.t.rows[slot]
-				tuples = append(tuples, tup)
-			}
-			seeded = true
+		return accesses[ti]
+	}
+	commaJoin := len(sc.tabs) > 1
+	for _, ref := range s.From {
+		if ref.JoinOn != nil {
+			commaJoin = false
 			break
 		}
 	}
-	if !seeded {
-		first.t.scan(func(_ int, row []Value) bool {
-			tup := make(tuple, len(sc.tabs))
-			tup[0] = row
-			tuples = append(tuples, tup)
-			return true
-		})
+	order := make([]int, len(sc.tabs))
+	for i := range order {
+		order[i] = i
+	}
+	if commaJoin {
+		for ti := range sc.tabs {
+			accessFor(ti)
+		}
+		order = joinOrder(s, accesses)
 	}
 
-	// Join each subsequent table.
-	for ti := 1; ti < len(sc.tabs); ti++ {
+	// Seed from the first table in join order.
+	seed := order[0]
+	db.countAccess(accessFor(seed))
+	var tuples []tuple
+	accessFor(seed).iterate(sc.tabs[seed].t, func(_ int, row []Value) bool {
+		tup := make(tuple, len(sc.tabs))
+		tup[seed] = row
+		tuples = append(tuples, tup)
+		return true
+	})
+
+	// Join each remaining table in join order.
+	placed := make([]bool, len(sc.tabs))
+	placed[seed] = true
+	for k := 1; k < len(order); k++ {
+		ti := order[k]
 		ref := s.From[ti]
 		st := sc.tabs[ti]
-		var next []tuple
+
+		// A probe comes from the ON clause (`earlier.col = new.col`) or,
+		// for comma joins, from an equivalent WHERE conjunct. When the
+		// probe is the ON clause itself the probed rows already satisfy
+		// it; a WHERE-derived probe still needs the ON filter applied.
 		probe, probeCol, probeOK := db.joinProbe(ref.JoinOn, sc, ti)
+		probeIsOn := probeOK
+		if !probeOK {
+			probe, probeCol, probeOK = db.whereProbe(conj, sc, ti, placed)
+		}
+
+		onFilter := func(nt tuple) (bool, error) {
+			if ref.JoinOn == nil {
+				return true, nil
+			}
+			ctx := &evalCtx{db: db, scope: sc, tup: nt, params: params}
+			v, err := ctx.eval(ref.JoinOn)
+			if err != nil {
+				return false, err
+			}
+			return v.Truthy(), nil
+		}
+
+		var next []tuple
 		for _, tup := range tuples {
 			if probeOK {
 				ctx := &evalCtx{db: db, scope: sc, tup: tup, params: params}
@@ -99,28 +322,34 @@ func (db *DB) produceTuples(s *sqlparser.SelectStmt, sc *scope, params []Value) 
 					for _, slot := range slots {
 						nt := cloneTuple(tup)
 						nt[ti] = st.t.rows[slot]
+						if !probeIsOn {
+							keep, err := onFilter(nt)
+							if err != nil {
+								return nil, err
+							}
+							if !keep {
+								continue
+							}
+						}
 						next = append(next, nt)
 					}
 					continue
 				}
 			}
-			// Fall back to nested-loop scan with the ON filter.
+			// Fall back to a nested loop over the table's own access path
+			// (its sargable predicates, or a scan) with the ON filter.
 			var scanErr error
-			st.t.scan(func(_ int, row []Value) bool {
+			accessFor(ti).iterate(st.t, func(_ int, row []Value) bool {
 				nt := cloneTuple(tup)
 				nt[ti] = row
-				if ref.JoinOn != nil {
-					ctx := &evalCtx{db: db, scope: sc, tup: nt, params: params}
-					v, err := ctx.eval(ref.JoinOn)
-					if err != nil {
-						scanErr = err
-						return false
-					}
-					if !v.Truthy() {
-						return true
-					}
+				keep, err := onFilter(nt)
+				if err != nil {
+					scanErr = err
+					return false
 				}
-				next = append(next, nt)
+				if keep {
+					next = append(next, nt)
+				}
 				return true
 			})
 			if scanErr != nil {
@@ -128,6 +357,7 @@ func (db *DB) produceTuples(s *sqlparser.SelectStmt, sc *scope, params []Value) 
 			}
 		}
 		tuples = next
+		placed[ti] = true
 	}
 
 	return db.filterWhere(s, sc, tuples, params)
@@ -166,38 +396,6 @@ func conjuncts(e sqlparser.Expr) []sqlparser.Expr {
 		return append(conjuncts(b.L), conjuncts(b.R)...)
 	}
 	return []sqlparser.Expr{e}
-}
-
-// constEquality recognizes `col = constant` (either side) where col belongs
-// to scope table ti and the other side evaluates without row context.
-func (db *DB) constEquality(pred sqlparser.Expr, sc *scope, ti int, params []Value) (string, Value, bool) {
-	b, ok := pred.(*sqlparser.BinaryExpr)
-	if !ok || b.Op != "=" {
-		return "", Value{}, false
-	}
-	try := func(colSide, valSide sqlparser.Expr) (string, Value, bool) {
-		cr, ok := colSide.(*sqlparser.ColRef)
-		if !ok {
-			return "", Value{}, false
-		}
-		cti, _, err := sc.resolve(cr.Table, cr.Column)
-		if err != nil || cti != ti {
-			return "", Value{}, false
-		}
-		ctx := &evalCtx{db: db, scope: sc, tup: nil, params: params}
-		if !isConstant(valSide) {
-			return "", Value{}, false
-		}
-		v, err := ctx.eval(valSide)
-		if err != nil {
-			return "", Value{}, false
-		}
-		return cr.Column, v, true
-	}
-	if col, v, ok := try(b.L, b.R); ok {
-		return col, v, true
-	}
-	return try(b.R, b.L)
 }
 
 // isConstant reports whether e involves no column references or aggregates.

@@ -159,6 +159,30 @@ func (v Value) Key() string {
 	return "\xff"
 }
 
+// OrdKey returns an order-preserving encoding: for two values of the same
+// kind, lexicographic byte order of their OrdKeys matches Compare. NULL
+// sorts before everything and kinds are segregated by a leading tag in Kind
+// order, matching compareForSort's kind-first fallback. Ordered indexes key
+// their entries with it.
+func (v Value) OrdKey() string {
+	switch v.Kind {
+	case KindNull:
+		return "\x00"
+	case KindInt:
+		// Flipping the sign bit makes big-endian byte order match signed
+		// integer order (negatives sort before positives).
+		var buf [9]byte
+		buf[0] = 1
+		binary.BigEndian.PutUint64(buf[1:], uint64(v.I)^(1<<63))
+		return string(buf[:])
+	case KindText:
+		return "\x02" + v.S
+	case KindBlob:
+		return "\x03" + string(v.B)
+	}
+	return "\xff"
+}
+
 // SizeBytes approximates the storage footprint of the value, used for the
 // paper's §8.4.3 storage-expansion accounting.
 func (v Value) SizeBytes() int {

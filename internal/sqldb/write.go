@@ -82,6 +82,22 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, erro
 		return nil, err
 	}
 
+	// The statement is atomic: if any row's new value violates a UNIQUE
+	// index, every cell already written by this statement is reverted
+	// before the error returns (a rejected UPDATE changes nothing, even
+	// outside a transaction).
+	type appliedCell struct {
+		slot, pos int
+		old       Value
+	}
+	var applied []appliedCell
+	revert := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			a := applied[i]
+			t.updateCellUnchecked(a.slot, a.pos, a.old)
+		}
+	}
+
 	affected := 0
 	for _, slot := range slots {
 		row := t.rows[slot]
@@ -95,13 +111,19 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, erro
 			ctx := &evalCtx{db: db, scope: sc, tup: tuple{row}, params: params}
 			v, err := ctx.eval(a.Value)
 			if err != nil {
+				revert()
 				return nil, err
 			}
 			newVals[i] = v
 		}
 		for i, pos := range targets {
-			db.logUpdate(t, slot, pos, row[pos])
-			t.updateCell(slot, pos, newVals[i])
+			old := row[pos]
+			if err := t.updateCell(slot, pos, newVals[i]); err != nil {
+				revert()
+				return nil, err
+			}
+			db.logUpdate(t, slot, pos, old)
+			applied = append(applied, appliedCell{slot: slot, pos: pos, old: old})
 		}
 		affected++
 	}
@@ -131,28 +153,17 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, erro
 	return &Result{Affected: affected}, nil
 }
 
-// matchSlots returns the slots of rows matching where, using an index for a
-// `col = constant` conjunct when available.
+// matchSlots returns the slots of rows matching where, planned through the
+// same access paths as SELECT: hash-index equality, ordered-index ranges,
+// or a scan.
 func (db *DB) matchSlots(t *Table, sc *scope, where sqlparser.Expr, params []Value) ([]int, error) {
+	acc := db.bestAccess(t, sc, 0, conjuncts(where), params)
+	db.countAccess(acc)
 	var candidates []int
-	seeded := false
-	for _, pred := range conjuncts(where) {
-		col, val, ok := db.constEquality(pred, sc, 0, params)
-		if !ok {
-			continue
-		}
-		if slots, has := t.lookup(col, val); has {
-			candidates = append([]int{}, slots...)
-			seeded = true
-			break
-		}
-	}
-	if !seeded {
-		t.scan(func(slot int, _ []Value) bool {
-			candidates = append(candidates, slot)
-			return true
-		})
-	}
+	acc.iterate(t, func(slot int, _ []Value) bool {
+		candidates = append(candidates, slot)
+		return true
+	})
 	if where == nil {
 		return candidates, nil
 	}

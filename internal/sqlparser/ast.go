@@ -319,12 +319,16 @@ type CreateTableStmt struct {
 	SpeaksFor []SpeaksForAnnot
 }
 
-// CreateIndexStmt creates an index.
+// CreateIndexStmt creates an index. Using selects the index structure,
+// MySQL-style: "" (default) builds both a hash (equality) and an ordered
+// (range) index, "HASH" an equality index only, "BTREE"/"ORDERED" an
+// ordered index only.
 type CreateIndexStmt struct {
 	Name   string
 	Table  string
 	Column string
 	Unique bool
+	Using  string
 }
 
 // DropTableStmt drops a table.
@@ -517,7 +521,11 @@ func (s *CreateIndexStmt) String() string {
 	if s.Unique {
 		u = "UNIQUE "
 	}
-	return "CREATE " + u + "INDEX " + s.Name + " ON " + s.Table + " (" + s.Column + ")"
+	out := "CREATE " + u + "INDEX " + s.Name + " ON " + s.Table + " (" + s.Column + ")"
+	if s.Using != "" {
+		out += " USING " + s.Using
+	}
+	return out
 }
 
 func (s *DropTableStmt) String() string { return "DROP TABLE " + s.Name }

@@ -47,6 +47,7 @@ var keywords = map[string]bool{
 	"IS": true, "PRIMARY": true, "KEY": true, "DEFAULT": true, "OFFSET": true,
 	"TRANSACTION": true, "PLAIN": true, "MINENC": true, "UNIQUE": true,
 	"EQUIJOIN": true, "OPEJOIN": true, "TRUE": true, "FALSE": true,
+	"USING": true,
 }
 
 // Lexer tokenizes a SQL statement.

@@ -240,7 +240,17 @@ func (p *Parser) parseCreate() (Statement, error) {
 		if err := p.expectOp(")"); err != nil {
 			return nil, err
 		}
-		return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}, nil
+		st := &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}
+		if ok, err := p.acceptKeyword("USING"); err != nil {
+			return nil, err
+		} else if ok {
+			using, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Using = using
+		}
+		return st, nil
 	}
 	if unique {
 		return nil, p.errf("UNIQUE only applies to CREATE INDEX")

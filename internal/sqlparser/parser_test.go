@@ -227,6 +227,16 @@ func TestParseCreateIndex(t *testing.T) {
 	if !st2.Unique {
 		t.Fatal("UNIQUE lost")
 	}
+	st3 := mustParse(t, "CREATE INDEX o ON emp (salary) USING BTREE").(*CreateIndexStmt)
+	if st3.Using != "BTREE" {
+		t.Fatalf("USING lost: %#v", st3)
+	}
+	if st3.String() != "CREATE INDEX o ON emp (salary) USING BTREE" {
+		t.Fatalf("String: %s", st3.String())
+	}
+	if _, err := Parse("CREATE INDEX o ON emp (salary) USING"); err == nil {
+		t.Fatal("want error for dangling USING")
+	}
 }
 
 func TestParseLikeAndSearch(t *testing.T) {
