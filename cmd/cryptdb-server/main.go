@@ -11,10 +11,19 @@
 //
 // Usage:
 //
-//	cryptdb-server [-addr :7432] [-multi]
+//	cryptdb-server [-addr :7432] [-multi] [-data-dir DIR]
+//	               [-wal-nofsync] [-checkpoint-mb N]
 //
 // With -multi the server runs in multi-principal mode: PRINCTYPE / ENC FOR /
 // SPEAKS FOR annotations are honored and cryptdb_active logins intercepted.
+//
+// With -data-dir the instance is durable: the embedded DBMS keeps a
+// write-ahead log and snapshots under DIR, and the proxy persists its key
+// material and sealed onion metadata there too, so a restarted server —
+// even one killed with SIGKILL — serves exactly the rows and onion levels
+// it had before. SIGINT/SIGTERM trigger a graceful shutdown: the listener
+// closes, in-flight statements finish and their responses flush, then the
+// WAL syncs and the process exits.
 //
 // Try it:
 //
@@ -28,7 +37,11 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/mp"
@@ -37,34 +50,199 @@ import (
 	"repro/internal/workload"
 )
 
+// drainTimeout bounds how long a graceful shutdown waits for in-flight
+// connections before closing them forcibly.
+const drainTimeout = 10 * time.Second
+
 func main() {
 	addr := flag.String("addr", ":7432", "listen address")
 	multi := flag.Bool("multi", false, "enable multi-principal mode (§4)")
+	dataDir := flag.String("data-dir", "", "directory for durable state (WAL, snapshots, proxy keys); empty runs in-memory")
+	noFsync := flag.Bool("wal-nofsync", false, "skip fsync after each commit (faster; a machine crash may lose recent commits)")
+	checkpointMB := flag.Int64("checkpoint-mb", 4, "WAL size in MiB that triggers an automatic snapshot; 0 disables")
 	flag.Parse()
 
-	db := sqldb.New()
-	p, err := proxy.New(db, proxy.Options{})
+	srv, err := newServer(config{
+		addr:         *addr,
+		multi:        *multi,
+		dataDir:      *dataDir,
+		noFsync:      *noFsync,
+		checkpointMB: *checkpointMB,
+	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	mode := "in-memory"
+	if *dataDir != "" {
+		mode = "durable, data-dir=" + *dataDir
+	}
+	log.Printf("cryptdb-server listening on %s (multi-principal: %v, %s)", srv.ln.Addr(), *multi, mode)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v, shutting down", sig)
+		srv.shutdown()
+	}()
+
+	if err := srv.run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cryptdb-server: shutdown complete")
+}
+
+type config struct {
+	addr         string
+	multi        bool
+	dataDir      string
+	noFsync      bool
+	checkpointMB int64
+}
+
+// server owns the listener, the executor stack (proxy or multi-principal
+// wrapper) and the durable database, and coordinates graceful shutdown.
+type server struct {
+	ln net.Listener
+	ex workload.Executor
+	db *sqldb.DB
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+	done     chan struct{}
+}
+
+func newServer(cfg config) (*server, error) {
+	var db *sqldb.DB
+	var err error
+	if cfg.dataDir != "" {
+		cb := cfg.checkpointMB << 20
+		if cb == 0 {
+			cb = -1 // flag semantics: 0 disables auto-checkpoints
+		}
+		db, err = sqldb.Open(cfg.dataDir, sqldb.DurabilityOptions{
+			NoFsync:         cfg.noFsync,
+			CheckpointBytes: cb,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = sqldb.New()
+	}
+	p, err := proxy.New(db, proxy.Options{DataDir: cfg.dataDir})
+	if err != nil {
+		db.Close()
+		return nil, err
 	}
 	var ex workload.Executor = p
-	if *multi {
+	if cfg.multi {
 		ex = mp.New(p, mp.Options{})
 	}
-
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
-		log.Fatal(err)
+		db.Close()
+		return nil, err
 	}
-	log.Printf("cryptdb-server listening on %s (multi-principal: %v)", *addr, *multi)
+	return &server{
+		ln:    ln,
+		ex:    ex,
+		db:    db,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// run accepts connections until shutdown, then drains and flushes.
+func (s *server) run() error {
 	for {
-		conn, err := ln.Accept()
+		conn, err := s.ln.Accept()
 		if err != nil {
+			if s.isDraining() {
+				break
+			}
 			log.Printf("accept: %v", err)
 			continue
 		}
-		go serve(conn, ex)
+		if !s.track(conn) {
+			conn.Close() // raced with shutdown
+			continue
+		}
+		go func() {
+			defer s.untrack(conn)
+			serve(conn, s.ex)
+		}()
 	}
+
+	// Drain: every tracked connection got a read deadline in the past, so
+	// idle scanners unblock immediately while a statement mid-execution
+	// finishes and flushes its response first.
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(drainTimeout):
+		log.Printf("drain timeout after %v; closing remaining connections", drainTimeout)
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+
+	// Flush durable state last: after this returns, everything committed
+	// is on disk.
+	err := s.db.Close()
+	close(s.done)
+	return err
+}
+
+// shutdown stops accepting and nudges every connection to finish. Safe to
+// call more than once; returns after run completes the drain.
+func (s *server) shutdown() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	for c := range s.conns {
+		// Interrupt the next read without cutting the write side: the
+		// in-flight statement's response still flushes.
+		c.SetReadDeadline(time.Now()) //nolint:errcheck // best effort
+	}
+	s.mu.Unlock()
+	if !already {
+		s.ln.Close()
+	}
+	<-s.done
+}
+
+func (s *server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.wg.Done()
 }
 
 func serve(conn net.Conn, ex workload.Executor) {
@@ -103,10 +281,12 @@ func serve(conn net.Conn, ex workload.Executor) {
 		out.Flush()
 	}
 	// A scan failure (e.g. a line over the 1 MiB buffer) would otherwise
-	// close the connection silently; tell the client why. Drain what is
-	// left of the offending input first: closing a socket with unread
-	// bytes queued can RST the ERR line away before the client reads it.
-	if err := in.Err(); err != nil {
+	// close the connection silently; tell the client why. Deadline errors
+	// are the shutdown path nudging idle readers — not worth reporting.
+	// Drain what is left of the offending input first: closing a socket
+	// with unread bytes queued can RST the ERR line away before the
+	// client reads it.
+	if err := in.Err(); err != nil && !os.IsTimeout(err) {
 		fmt.Fprintf(out, "ERR %v\n", err)
 		out.Flush()
 		conn.SetReadDeadline(time.Now().Add(2 * time.Second))

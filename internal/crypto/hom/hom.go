@@ -64,41 +64,66 @@ func GenerateKey(bits int) (*Key, error) {
 		if p.Cmp(q) == 0 {
 			continue
 		}
-		n := new(big.Int).Mul(p, q)
-		if n.BitLen() != bits {
+		if new(big.Int).Mul(p, q).BitLen() != bits {
 			continue
 		}
-		pm1 := new(big.Int).Sub(p, one)
-		qm1 := new(big.Int).Sub(q, one)
-		lambda := new(big.Int).Mul(pm1, qm1)
-		lambda.Div(lambda, new(big.Int).GCD(nil, nil, pm1, qm1)) // lcm
-
-		n2 := new(big.Int).Mul(n, n)
-		g := new(big.Int).Add(n, one)
-
-		// mu = (L(g^lambda mod n^2))^-1 mod n
-		glambda := new(big.Int).Exp(g, lambda, n2)
-		l := lFunc(glambda, n)
-		mu := new(big.Int).ModInverse(l, n)
-		if mu == nil {
+		k, err := KeyFromPrimes(p, q)
+		if err != nil {
 			continue // degenerate; retry
 		}
-
-		// CRT decryption constants.
-		p2 := new(big.Int).Mul(p, p)
-		q2 := new(big.Int).Mul(q, q)
-		hp := crtH(g, p, p2, pm1)
-		hq := crtH(g, q, q2, qm1)
-		pInvQ := new(big.Int).ModInverse(p, q)
-		if hp == nil || hq == nil || pInvQ == nil {
-			continue // degenerate; retry
-		}
-		return &Key{
-			N: n, N2: n2, G: g, lambda: lambda, mu: mu,
-			p: p, q: q, p2: p2, q2: q2, pm1: pm1, qm1: qm1,
-			hp: hp, hq: hq, pInvQ: pInvQ,
-		}, nil
+		return k, nil
 	}
+}
+
+// KeyFromPrimes reconstructs the full key — public components, lambda/mu,
+// and the CRT decryption state — from its secret prime factorization. The
+// proxy's durable state file stores only (p, q); everything else above is
+// derived, so a restarted proxy decrypts old Add-onion ciphertexts with a
+// key identical to the one that produced them.
+func KeyFromPrimes(p, q *big.Int) (*Key, error) {
+	if p.Cmp(q) == 0 {
+		return nil, fmt.Errorf("hom: p and q must differ")
+	}
+	n := new(big.Int).Mul(p, q)
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	lambda := new(big.Int).Mul(pm1, qm1)
+	lambda.Div(lambda, new(big.Int).GCD(nil, nil, pm1, qm1)) // lcm
+
+	n2 := new(big.Int).Mul(n, n)
+	g := new(big.Int).Add(n, one)
+
+	// mu = (L(g^lambda mod n^2))^-1 mod n
+	glambda := new(big.Int).Exp(g, lambda, n2)
+	l := lFunc(glambda, n)
+	mu := new(big.Int).ModInverse(l, n)
+	if mu == nil {
+		return nil, fmt.Errorf("hom: degenerate modulus")
+	}
+
+	// CRT decryption constants.
+	p2 := new(big.Int).Mul(p, p)
+	q2 := new(big.Int).Mul(q, q)
+	hp := crtH(g, p, p2, pm1)
+	hq := crtH(g, q, q2, qm1)
+	pInvQ := new(big.Int).ModInverse(p, q)
+	if hp == nil || hq == nil || pInvQ == nil {
+		return nil, fmt.Errorf("hom: degenerate primes")
+	}
+	return &Key{
+		N: n, N2: n2, G: g, lambda: lambda, mu: mu,
+		p: p, q: q, p2: p2, q2: q2, pm1: pm1, qm1: qm1,
+		hp: hp, hq: hq, pInvQ: pInvQ,
+	}, nil
+}
+
+// Primes returns the secret factorization for serialization, or ok=false
+// for a key restored without it (see StripFactors).
+func (k *Key) Primes() (p, q *big.Int, ok bool) {
+	if k.p == nil {
+		return nil, nil, false
+	}
+	return new(big.Int).Set(k.p), new(big.Int).Set(k.q), true
 }
 
 // crtH computes (L_p(g^(p-1) mod p²))^-1 mod p, the per-prime decryption

@@ -37,6 +37,18 @@ func MasterFromBytes(b []byte) *Master {
 	return &Master{mk: mk}
 }
 
+// MasterFromRaw rebuilds a Master from the exact bytes Bytes returned: the
+// state-restore path. Unlike MasterFromBytes it applies no PRF, so the
+// restored Master derives the same column keys as the original.
+func MasterFromRaw(b []byte) (*Master, error) {
+	if len(b) != Size {
+		return nil, fmt.Errorf("keys: master key must be %d bytes, got %d", Size, len(b))
+	}
+	mk := make([]byte, Size)
+	copy(mk, b)
+	return &Master{mk: mk}, nil
+}
+
 // Derive computes K_{table,column,onion,layer} = PRF_MK(table, column,
 // onion, layer). The paper uses a PRP (AES); any PRF with ≥128-bit output is
 // an equivalent instantiation.

@@ -40,7 +40,10 @@ func (p *Proxy) applyRequirement(req requirement) error {
 	case onion.ClassNone:
 		return nil
 	case onion.ClassPlaintext:
-		req.cm.NeedsPlaintext = true
+		if !req.cm.NeedsPlaintext {
+			req.cm.NeedsPlaintext = true
+			p.persistMetaLocked() //nolint:errcheck // §8.3 reporting flag; the query fails below regardless
+		}
 		return fmt.Errorf("proxy: %s.%s requires plaintext computation",
 			req.cm.Table.Logical, req.cm.Logical)
 	case onion.ClassEquality:
@@ -59,14 +62,20 @@ func (p *Proxy) applyRequirement(req requirement) error {
 			return fmt.Errorf("proxy: %s.%s has no Search onion",
 				req.cm.Table.Logical, req.cm.Logical)
 		}
-		req.cm.UsedSearch = true
+		if !req.cm.UsedSearch {
+			req.cm.UsedSearch = true
+			return p.persistMetaLocked()
+		}
 		return nil
 	case onion.ClassSum, onion.ClassIncrement:
 		if !req.cm.HasOnion(onion.Add) {
 			return fmt.Errorf("proxy: %s.%s has no Add onion",
 				req.cm.Table.Logical, req.cm.Logical)
 		}
-		req.cm.UsedSum = true
+		if !req.cm.UsedSum {
+			req.cm.UsedSum = true
+			return p.persistMetaLocked()
+		}
 		return nil
 	case onion.ClassJoin:
 		if err := p.maybeResync(req.cm); err != nil {
@@ -116,6 +125,10 @@ func (p *Proxy) lowerTo(cm *ColumnMeta, o onion.Onion, target onion.Layer) error
 	// undone by a client ROLLBACK, because the proxy's layer metadata
 	// advances with it. Atomicity against concurrent clients comes from
 	// the proxy's write lock (held here) plus the DBMS statement lock.
+	// Atomicity against crashes comes from the WAL: the server-side
+	// UPDATE and the sealed metadata snapshot recording the descended
+	// layer commit in one batch, so recovery always sees a ciphertext
+	// column and a layer pointer that agree.
 	for _, layer := range layers {
 		if layer != onion.RND {
 			return fmt.Errorf("proxy: cannot strip non-RND layer %s of %s onion", layer, o)
@@ -135,10 +148,20 @@ func (p *Proxy) lowerTo(cm *ColumnMeta, o onion.Onion, target onion.Layer) error
 				},
 			}},
 		}
-		if _, err := p.db.ExecAutonomous(upd); err != nil {
+		p.metaMu.Lock()
+		st.Descend()
+		sealed, err := p.sealedMetaLocked()
+		if err == nil {
+			_, err = p.db.ExecAutonomousWithMeta(upd, sealed)
+		}
+		if err != nil {
+			if !stmtApplied(err) {
+				st.Cur-- // the layer really was not stripped
+			}
+			p.metaMu.Unlock()
 			return fmt.Errorf("proxy: onion adjustment: %w", err)
 		}
-		st.Descend()
+		p.metaMu.Unlock()
 		p.stats.OnionAdjustments++
 	}
 	return p.materializeIndexes(cm)
@@ -202,18 +225,39 @@ func (p *Proxy) adjustJoin(a, b *ColumnMeta) error {
 				},
 			}},
 		}
-		if _, err := p.db.ExecAutonomous(upd); err != nil {
+		// The re-keying UPDATE and the metadata naming the new effective
+		// key (by reference to the base column, never by value) commit in
+		// one WAL batch.
+		p.metaMu.Lock()
+		cm.mu.Lock()
+		oldKey := cm.joinKey
+		oldRefT, oldRefC := cm.joinRefT, cm.joinRefC
+		cm.joinKey = baseKey
+		cm.joinRefT, cm.joinRefC = base.joinRefT, base.joinRefC
+		cm.mu.Unlock()
+		sealed, err := p.sealedMetaLocked()
+		if err == nil {
+			_, err = p.db.ExecAutonomousWithMeta(upd, sealed)
+		}
+		if err != nil {
+			if !stmtApplied(err) {
+				cm.mu.Lock()
+				cm.joinKey = oldKey
+				cm.joinRefT, cm.joinRefC = oldRefT, oldRefC
+				cm.mu.Unlock()
+			}
+			p.metaMu.Unlock()
 			return fmt.Errorf("proxy: join adjustment: %w", err)
 		}
-		cm.mu.Lock()
-		cm.joinKey = baseKey
-		cm.mu.Unlock()
+		p.metaMu.Unlock()
 		p.stats.OnionAdjustments++
 		if err := p.materializeIndexes(cm); err != nil {
 			return err
 		}
 	}
-	return nil
+	// Group-root moves are metadata-only; persist them even when both
+	// deltas were identity.
+	return p.persistMetaLocked()
 }
 
 func lexAfter(a, b *ColumnMeta) bool {
@@ -294,7 +338,10 @@ func (p *Proxy) maybeResync(cm *ColumnMeta) error {
 	}
 	cm.Stale = make(map[onion.Onion]bool)
 	p.stats.Resyncs++
-	return nil
+	// Persist the cleared staleness. A crash before this point leaves the
+	// stale flags set, which only costs a redundant (idempotent) resync
+	// on the next restart — never a stale answer.
+	return p.persistMetaLocked()
 }
 
 // valueToExpr renders a sqldb value as a literal AST node for server

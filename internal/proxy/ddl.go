@@ -43,9 +43,11 @@ func (p *Proxy) createTable(st *sqlparser.CreateTableStmt) error {
 			Stale:   make(map[onion.Onion]bool),
 		}
 		cm.joinGroup = cm
+		cm.joinRefT, cm.joinRefC = st.Name, cd.Name
 		if cd.MinEnc != "" {
 			l, err := onion.LayerFromString(cd.MinEnc)
 			if err != nil {
+				p.nTab--
 				return fmt.Errorf("proxy: column %s.%s: %w", st.Name, cd.Name, err)
 			}
 			cm.MinEnc = l
@@ -72,17 +74,34 @@ func (p *Proxy) createTable(st *sqlparser.CreateTableStmt) error {
 		}
 	}
 
-	if _, err := p.db.Exec(anon); err != nil {
-		return fmt.Errorf("proxy: creating anonymized table: %w", err)
-	}
-	p.tables[st.Name] = tm
-
-	// Validate ENC FOR owner columns exist.
+	// Validate ENC FOR owner columns before creating anything, so a
+	// rejected schema leaves no trace at the proxy or the DBMS.
 	for _, cm := range tm.Cols {
 		if cm.EncFor != nil && tm.byName[cm.EncFor.OwnerColumn] == nil {
+			p.nTab--
 			return fmt.Errorf("proxy: ENC FOR owner column %s.%s does not exist",
 				st.Name, cm.EncFor.OwnerColumn)
 		}
+	}
+
+	// Register first so the sealed metadata snapshot includes the new
+	// table, then create it at the DBMS with the snapshot attached: table
+	// and metadata become durable in one WAL batch, or not at all.
+	p.tables[st.Name] = tm
+	p.metaMu.Lock()
+	defer p.metaMu.Unlock()
+	sealed, err := p.sealedMetaLocked()
+	if err != nil {
+		delete(p.tables, st.Name)
+		p.nTab--
+		return err
+	}
+	if _, err := p.db.ExecAutonomousWithMeta(anon, sealed); err != nil {
+		if !stmtApplied(err) {
+			delete(p.tables, st.Name)
+			p.nTab--
+		}
+		return fmt.Errorf("proxy: creating anonymized table: %w", err)
 	}
 	return nil
 }
@@ -124,7 +143,13 @@ func (p *Proxy) createIndex(st *sqlparser.CreateIndexStmt) error {
 	cm.wantIndex = true
 	cm.wantUnique = st.Unique
 	cm.wantUsing = using
-	return p.materializeIndexes(cm)
+	if err := p.materializeIndexes(cm); err != nil {
+		return err
+	}
+	// The want* flags are metadata even when no index materialized yet
+	// (all onions still at RND): persist so a restarted proxy still knows
+	// to build the index once adjustment exposes an indexable layer.
+	return p.persistMetaLocked()
 }
 
 // materializeIndexes creates server indexes for onions whose current layer
@@ -137,6 +162,22 @@ func (p *Proxy) materializeIndexes(cm *ColumnMeta) error {
 	// unless it must enforce UNIQUE. USING HASH suppresses the ordered
 	// index below. The JAdj index is proxy-internal (§3.4 joins probe by
 	// equality) and ignores the clause.
+	// Each index creation commits with a sealed metadata snapshot that
+	// already records it as materialized, so a crash cannot leave the
+	// index built but forgotten (or vice versa).
+	createWithMeta := func(stmt *sqlparser.CreateIndexStmt, done *bool) error {
+		p.metaMu.Lock()
+		defer p.metaMu.Unlock()
+		*done = true
+		sealed, err := p.sealedMetaLocked()
+		if err == nil {
+			_, err = p.db.ExecWithMeta(stmt, sealed)
+		}
+		if err != nil && !stmtApplied(err) {
+			*done = false
+		}
+		return err
+	}
 	if st := cm.Onions[onion.Eq]; st != nil && st.Current() == onion.DET && !cm.idxEq &&
 		(cm.wantUsing != "BTREE" || cm.wantUnique) {
 		// DET ciphertexts only support equality: hash index, no ordered.
@@ -147,10 +188,9 @@ func (p *Proxy) materializeIndexes(cm *ColumnMeta) error {
 			Unique: cm.wantUnique,
 			Using:  "HASH",
 		}
-		if _, err := p.db.Exec(stmt); err != nil {
+		if err := createWithMeta(stmt, &cm.idxEq); err != nil {
 			return err
 		}
-		cm.idxEq = true
 	}
 	if st := cm.Onions[onion.JAdj]; st != nil && st.Current() == onion.JOIN && !cm.idxJadj {
 		stmt := &sqlparser.CreateIndexStmt{
@@ -159,10 +199,9 @@ func (p *Proxy) materializeIndexes(cm *ColumnMeta) error {
 			Column: cm.onionCol(onion.JAdj),
 			Using:  "HASH",
 		}
-		if _, err := p.db.Exec(stmt); err != nil {
+		if err := createWithMeta(stmt, &cm.idxJadj); err != nil {
 			return err
 		}
-		cm.idxJadj = true
 	}
 	// OPE ciphertexts preserve plaintext order, so an ordered index over
 	// them serves range predicates, ORDER BY ... LIMIT and MIN/MAX (§3.3).
@@ -176,10 +215,9 @@ func (p *Proxy) materializeIndexes(cm *ColumnMeta) error {
 			Column: cm.onionCol(onion.Ord),
 			Using:  "BTREE",
 		}
-		if _, err := p.db.Exec(stmt); err != nil {
+		if err := createWithMeta(stmt, &cm.idxOrd); err != nil {
 			return err
 		}
-		cm.idxOrd = true
 	}
 	return nil
 }
@@ -203,12 +241,18 @@ func (p *Proxy) DeclareOPEJoin(table1, col1, table2, col2 string) error {
 	if p.db.Table(c1.Table.Anon).RowCount() > 0 || p.db.Table(c2.Table.Anon).RowCount() > 0 {
 		return fmt.Errorf("proxy: OPE-JOIN must be declared before data is inserted")
 	}
-	shared := p.mk.DeriveLabel("opejoin:" + table1 + "." + col1 + ":" + table2 + "." + col2)
+	label := "opejoin:" + table1 + "." + col1 + ":" + table2 + "." + col2
+	shared := p.mk.DeriveLabel(label)
 	c1.opeShared = shared
 	c2.opeShared = shared
+	c1.opeSharedLabel = label
+	c2.opeSharedLabel = label
 	c1.opeCipher = nil
 	c2.opeCipher = nil
-	return nil
+	// Persist the declaration (by label; restore re-derives the shared
+	// key): a restarted proxy must keep encrypting both columns under the
+	// same OPE key or range joins silently break.
+	return p.persistMetaLocked()
 }
 
 func (p *Proxy) lookupCol(table, col string) (*ColumnMeta, error) {

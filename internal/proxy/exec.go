@@ -61,7 +61,18 @@ func (p *Proxy) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*sql
 			return nil, fmt.Errorf("proxy: no table %s", s.Name)
 		}
 		delete(p.tables, s.Name)
-		return p.db.Exec(&sqlparser.DropTableStmt{Name: tm.Anon})
+		p.metaMu.Lock()
+		defer p.metaMu.Unlock()
+		sealed, err := p.sealedMetaLocked()
+		if err != nil {
+			p.tables[s.Name] = tm
+			return nil, err
+		}
+		res, err := p.db.ExecWithMeta(&sqlparser.DropTableStmt{Name: tm.Anon}, sealed)
+		if err != nil && !stmtApplied(err) {
+			p.tables[s.Name] = tm
+		}
+		return res, err
 	case *sqlparser.BeginStmt, *sqlparser.CommitStmt, *sqlparser.RollbackStmt:
 		// Transactions pass through unchanged (§3.3).
 		if p.opts.Training {
@@ -770,6 +781,7 @@ func (p *Proxy) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqld
 	}
 	server := &sqlparser.UpdateStmt{Table: tm.Anon, Where: where}
 
+	madeStale := false
 	for _, a := range assigns {
 		switch a.kind {
 		case updPassthrough:
@@ -817,11 +829,27 @@ func (p *Proxy) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqld
 			})
 			// The other onions of this column are now stale (§3.3).
 			a.cm.mu.Lock()
+			if !a.cm.Stale[onion.Eq] {
+				madeStale = true
+			}
 			a.cm.Stale[onion.Eq] = true
 			a.cm.Stale[onion.JAdj] = true
 			a.cm.Stale[onion.Ord] = true
 			a.cm.mu.Unlock()
 		}
+	}
+	if madeStale && p.persistent() {
+		// First increment against a clean column: commit the staleness
+		// flags in the same WAL batch as the hom_add UPDATE. Inside a
+		// client transaction both ride its commit — a ROLLBACK discards
+		// the increment and the flags together.
+		p.metaMu.Lock()
+		defer p.metaMu.Unlock()
+		sealed, err := p.sealedMetaLocked()
+		if err != nil {
+			return nil, err
+		}
+		return p.db.ExecWithMeta(server, sealed)
 	}
 	return p.db.Exec(server)
 }

@@ -66,13 +66,23 @@ type ColumnMeta struct {
 	// joinKey is the column's current effective JOIN-ADJ key; it changes
 	// when the column is re-keyed to a join-base (§3.4).
 	joinKey *joinadj.Key
+	// joinRefT/joinRefC name the column whose derived JOIN key joinKey
+	// currently equals (self initially). Keys only ever take values
+	// derivable from some column's key material, so persisting this
+	// reference — rather than the scalar — lets a restarted proxy
+	// re-derive the exact effective key without writing secret key
+	// material anywhere.
+	joinRefT, joinRefC string
 	// joinGroup points at the transitivity-group representative
 	// (union-find; self-rooted initially).
 	joinGroup *ColumnMeta
 
 	// opeShared, when set, overrides the per-column OPE key with a
-	// declared OPE-JOIN group key (§3.4 range joins).
-	opeShared []byte
+	// declared OPE-JOIN group key (§3.4 range joins); opeSharedLabel is
+	// the derivation label it came from, persisted so a restart
+	// re-derives the same shared key.
+	opeShared      []byte
+	opeSharedLabel string
 
 	// Index bookkeeping: the application asked for an index, and which
 	// onion indexes have been materialized so far (§3.3: indexes go on

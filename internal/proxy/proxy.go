@@ -3,6 +3,7 @@ package proxy
 import (
 	"fmt"
 	"math/big"
+	"os"
 	"sync"
 
 	"repro/internal/crypto/hom"
@@ -55,6 +56,15 @@ type Options struct {
 	// "known query set": discard onions that are not needed). Derive one
 	// with TrainPlan. Nil keeps every applicable onion.
 	Plan OnionPlan
+	// DataDir makes the proxy durable: key material (master key, Paillier
+	// primes) is loaded from — or, on first use, generated into —
+	// <DataDir>/proxy-keys.json, and all schema/onion metadata is sealed
+	// and committed through the DBMS write-ahead log, atomically with the
+	// server-side statements that change it (see persist.go). The same
+	// directory is normally also the sqldb data dir, so one directory
+	// fully captures a restartable instance. Empty means in-memory (the
+	// default; restarting loses everything, as the seed did).
+	DataDir string
 }
 
 // PrincipalCrypto is the hook the multi-principal layer (package mp)
@@ -98,6 +108,12 @@ type Proxy struct {
 	stats    Stats
 	astCache *astCache // nil when disabled
 
+	// dataDir is non-empty for a durable proxy; metaMu serializes sealed
+	// metadata snapshots with the WAL appends that carry them, so blob
+	// order on disk matches state order in memory (see persist.go).
+	dataDir string
+	metaMu  sync.Mutex
+
 	// training-mode log of would-be adjustments.
 	trainLog []TrainEvent
 
@@ -113,16 +129,25 @@ type TrainEvent struct {
 	Warning       string // non-empty for unsupported queries
 }
 
-// New creates a proxy in front of db with a fresh master key.
+// New creates a proxy in front of db. Without Options.DataDir it uses a
+// fresh master key and lives only as long as the process. With DataDir it
+// is durable: key material is loaded (or generated once) from the key
+// file, and table/column/onion metadata recovered through the DBMS is
+// restored, so a restarted proxy decrypts everything its predecessor
+// stored and remembers every onion adjustment it made.
 func New(db *sqldb.DB, opts Options) (*Proxy, error) {
-	mk, err := keys.NewMaster()
-	if err != nil {
-		return nil, err
+	if opts.DataDir == "" {
+		mk, err := keys.NewMaster()
+		if err != nil {
+			return nil, err
+		}
+		return NewWithMaster(db, mk, opts)
 	}
-	return NewWithMaster(db, mk, opts)
+	return openPersistent(db, opts)
 }
 
-// NewWithMaster creates a proxy with explicit master key material.
+// NewWithMaster creates an in-memory proxy with explicit master key
+// material (multi-principal mode derives sub-proxies this way).
 func NewWithMaster(db *sqldb.DB, mk *keys.Master, opts Options) (*Proxy, error) {
 	if opts.HOMBits == 0 {
 		opts.HOMBits = hom.DefaultBits
@@ -131,6 +156,75 @@ func NewWithMaster(db *sqldb.DB, mk *keys.Master, opts Options) (*Proxy, error) 
 	if err != nil {
 		return nil, fmt.Errorf("proxy: %w", err)
 	}
+	return newProxy(db, mk, hk, opts)
+}
+
+// openPersistent builds a durable proxy from (or initializing) a data dir.
+func openPersistent(db *sqldb.DB, opts Options) (*Proxy, error) {
+	dir := opts.DataDir
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("proxy: creating data dir: %w", err)
+	}
+	kf, fresh, err := loadOrCreateKeyFile(dir, opts.HOMBits)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		if db.Meta() != nil {
+			return nil, fmt.Errorf("proxy: %s has database state but no %s — the key file is required to decrypt it", dir, keyFileName)
+		}
+		mk, err := keys.NewMaster()
+		if err != nil {
+			return nil, err
+		}
+		bits := opts.HOMBits
+		if bits == 0 {
+			bits = hom.DefaultBits
+		}
+		hk, err := hom.GenerateKey(bits)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: %w", err)
+		}
+		hp, hq, _ := hk.Primes()
+		if err := writeKeyFile(dir, &keyFile{
+			Version: 1, MasterKey: mk.Bytes(), HomBits: bits,
+			HomP: hp.Bytes(), HomQ: hq.Bytes(),
+		}); err != nil {
+			return nil, err
+		}
+		opts.HOMBits = bits
+		p, err := newProxy(db, mk, hk, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.dataDir = dir
+		return p, nil
+	}
+
+	mk, err := keys.MasterFromRaw(kf.MasterKey)
+	if err != nil {
+		return nil, err
+	}
+	hk, err := hom.KeyFromPrimes(new(big.Int).SetBytes(kf.HomP), new(big.Int).SetBytes(kf.HomQ))
+	if err != nil {
+		return nil, fmt.Errorf("proxy: restoring Paillier key: %w", err)
+	}
+	opts.HOMBits = kf.HomBits
+	p, err := newProxy(db, mk, hk, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.dataDir = dir
+	if sealed := db.Meta(); sealed != nil {
+		if err := p.restoreState(sealed); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// newProxy assembles a proxy around existing key material.
+func newProxy(db *sqldb.DB, mk *keys.Master, hk *hom.Key, opts Options) (*Proxy, error) {
 	if opts.HOMPrecompute > 0 {
 		if err := hk.Precompute(opts.HOMPrecompute); err != nil {
 			return nil, fmt.Errorf("proxy: %w", err)

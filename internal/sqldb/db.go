@@ -48,6 +48,25 @@ type DB struct {
 	undo   []undoOp
 	txnOwn bool
 
+	// Durability state (nil/zero for a pure in-memory database). stmtBuf
+	// accumulates the redo records of the statement being executed;
+	// txnBuf accumulates the committed statements of an open transaction.
+	// Both hold pre-encoded WAL ops (see wal.go).
+	wal         *walWriter
+	lock        *dirLock
+	dir         string
+	dopts       DurabilityOptions
+	walSeq      uint64
+	stmtBuf     []byte
+	txnBuf      []byte
+	txnMeta     []byte
+	checkpoints int64
+
+	// meta is the last committed application-metadata blob (the CryptDB
+	// proxy's sealed state; see ExecWithMeta). It rides the WAL and the
+	// snapshot so it commits atomically with the writes it describes.
+	meta []byte
+
 	// busyNanos accumulates wall time spent executing statements — the
 	// "server-side" cost the paper's throughput figures measure (the
 	// proxy ran on a separate machine in their testbed).
@@ -165,6 +184,24 @@ func (db *DB) ExecSQL(sql string, params ...Value) (*Result, error) {
 
 // Exec executes a parsed statement.
 func (db *DB) Exec(st sqlparser.Statement, params ...Value) (*Result, error) {
+	return db.exec(st, nil, false, params)
+}
+
+// ExecWithMeta executes a write statement and attaches an opaque
+// application-metadata blob to the same WAL commit unit: the blob becomes
+// durable if and only if the statement's writes do (for a statement inside
+// a transaction, at COMMIT). The CryptDB proxy uses this to keep its
+// onion-layer metadata exactly in sync with the ciphertext transitions it
+// issues — a crash can never observe the data adjusted but the metadata
+// not, or vice versa. The latest committed blob is returned by Meta after
+// Open. On an in-memory database the blob is retained in memory only.
+func (db *DB) ExecWithMeta(st sqlparser.Statement, meta []byte, params ...Value) (*Result, error) {
+	return db.exec(st, meta, false, params)
+}
+
+// exec dispatches a statement. DDL is always durable autonomously (it is
+// not undo-logged, so it must not be discardable by a client ROLLBACK).
+func (db *DB) exec(st sqlparser.Statement, meta []byte, autonomous bool, params []Value) (*Result, error) {
 	defer db.trackBusy(time.Now())
 	switch s := st.(type) {
 	case *sqlparser.SelectStmt:
@@ -174,31 +211,27 @@ func (db *DB) Exec(st sqlparser.Statement, params ...Value) (*Result, error) {
 	case *sqlparser.InsertStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execInsert(s, params)
+		return db.durably(meta, autonomous, func() (*Result, error) { return db.execInsert(s, params) })
 	case *sqlparser.UpdateStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execUpdate(s, params)
+		return db.durably(meta, autonomous, func() (*Result, error) { return db.execUpdate(s, params) })
 	case *sqlparser.DeleteStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execDelete(s, params)
+		return db.durably(meta, autonomous, func() (*Result, error) { return db.execDelete(s, params) })
 	case *sqlparser.CreateTableStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execCreateTable(s)
+		return db.durably(meta, true, func() (*Result, error) { return db.execCreateTable(s) })
 	case *sqlparser.CreateIndexStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		return db.execCreateIndex(s)
+		return db.durably(meta, true, func() (*Result, error) { return db.execCreateIndex(s) })
 	case *sqlparser.DropTableStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
-		if _, ok := db.tables[s.Name]; !ok {
-			return nil, fmt.Errorf("sqldb: no table %s", s.Name)
-		}
-		delete(db.tables, s.Name)
-		return &Result{}, nil
+		return db.durably(meta, true, func() (*Result, error) { return db.execDropTable(s) })
 	case *sqlparser.BeginStmt:
 		return db.begin()
 	case *sqlparser.CommitStmt:
@@ -211,6 +244,161 @@ func (db *DB) Exec(st sqlparser.Statement, params ...Value) (*Result, error) {
 		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("sqldb: unsupported statement %T", st)
+}
+
+func (db *DB) execDropTable(s *sqlparser.DropTableStmt) (*Result, error) {
+	if _, ok := db.tables[s.Name]; !ok {
+		return nil, fmt.Errorf("sqldb: no table %s", s.Name)
+	}
+	delete(db.tables, s.Name)
+	db.redoDropTable(s.Name)
+	return &Result{}, nil
+}
+
+// SetMeta durably commits an application-metadata blob in its own WAL
+// batch, independent of any statement. See ExecWithMeta.
+func (db *DB) SetMeta(meta []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		db.meta = append([]byte(nil), meta...)
+		return nil
+	}
+	db.walSeq++
+	if err := db.wal.appendBatch(db.walSeq, appendMetaOp(nil, meta)); err != nil {
+		return err
+	}
+	db.meta = append([]byte(nil), meta...)
+	return nil
+}
+
+// Meta returns the last committed application-metadata blob (nil if none):
+// after Open, the blob recovered from the snapshot and WAL.
+func (db *DB) Meta() []byte {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.meta
+}
+
+// DurabilityError reports that a statement applied in memory but could not
+// be made durable (the WAL append or sync failed). The distinction matters
+// to callers that mirror database state: on an ordinary error the
+// statement had no effect, but on a DurabilityError it did — both the
+// in-memory state and (since redo records and any attached metadata share
+// one batch) the would-have-been disk state moved together, so caller-side
+// rollbacks would desynchronize, not repair. The CryptDB proxy keeps its
+// metadata transitions when it sees one of these.
+type DurabilityError struct{ Err error }
+
+// Error implements the error interface.
+func (e *DurabilityError) Error() string {
+	return "sqldb: statement applied but not durable: " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying I/O error.
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
+// durably runs one write statement with redo capture. On success the
+// captured ops are committed: appended to the transaction buffer when a
+// transaction is open (made durable at COMMIT, discarded at ROLLBACK), or
+// appended to the WAL immediately otherwise. Autonomous statements bypass
+// the transaction buffer — they are durable immediately even while a
+// client transaction is open, matching their in-memory semantics. On
+// error the capture is discarded: write statements are statement-atomic,
+// so an error means the in-memory state did not change — except for
+// *DurabilityError, see above.
+func (db *DB) durably(meta []byte, autonomous bool, fn func() (*Result, error)) (*Result, error) {
+	db.stmtBuf = db.stmtBuf[:0]
+	res, err := fn()
+	if err != nil {
+		db.stmtBuf = db.stmtBuf[:0]
+		return res, err
+	}
+	if db.wal == nil {
+		if meta != nil {
+			db.meta = append([]byte(nil), meta...)
+		}
+		db.stmtBuf = db.stmtBuf[:0]
+		return res, nil
+	}
+	if meta != nil {
+		db.stmtBuf = appendMetaOp(db.stmtBuf, meta)
+	}
+	if len(db.stmtBuf) == 0 {
+		return res, nil
+	}
+	if db.inTxn && !autonomous {
+		db.txnBuf = append(db.txnBuf, db.stmtBuf...)
+		if meta != nil {
+			db.txnMeta = append([]byte(nil), meta...)
+		}
+		db.stmtBuf = db.stmtBuf[:0]
+		return res, nil
+	}
+	db.walSeq++
+	if err := db.wal.appendBatch(db.walSeq, db.stmtBuf); err != nil {
+		// The in-memory state already applied; surface the durability
+		// failure to the caller rather than pretending the write is safe.
+		db.stmtBuf = db.stmtBuf[:0]
+		return res, &DurabilityError{Err: err}
+	}
+	if meta != nil {
+		db.meta = append([]byte(nil), meta...)
+	}
+	db.stmtBuf = db.stmtBuf[:0]
+	// Skip auto-checkpoints inside a transaction and on autonomous
+	// statements (execAutonomous masks inTxn, so a client transaction may
+	// still be open — snapshotting would capture uncommitted rows).
+	if !db.inTxn && !autonomous {
+		if err := db.maybeAutoCheckpointLocked(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Redo-capture helpers, called from the exec layer after each in-memory
+// mutation succeeds. No-ops on an in-memory database.
+
+func (db *DB) redoInsert(t *Table, slot int, row []Value) {
+	if db.wal != nil {
+		db.stmtBuf = appendInsertOp(db.stmtBuf, t.Name, slot, row)
+	}
+}
+
+func (db *DB) redoDelete(t *Table, slot int) {
+	if db.wal != nil {
+		db.stmtBuf = appendDeleteOp(db.stmtBuf, t.Name, slot)
+	}
+}
+
+func (db *DB) redoUpdate(t *Table, slot, pos int, v Value) {
+	if db.wal != nil {
+		db.stmtBuf = appendUpdateOp(db.stmtBuf, t.Name, slot, pos, v)
+	}
+}
+
+func (db *DB) redoCreateTable(s *sqlparser.CreateTableStmt) {
+	if db.wal == nil {
+		return
+	}
+	cols := make([]walColDef, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = walColDef{name: c.Name, typ: c.Type, primary: c.Primary}
+	}
+	db.stmtBuf = appendCreateTableOp(db.stmtBuf, s.Name, cols)
+}
+
+func (db *DB) redoCreateIndex(table, column string, unique, ordered bool) {
+	if db.wal != nil {
+		db.stmtBuf = appendCreateIndexOp(db.stmtBuf, table, column, unique, ordered)
+	}
+}
+
+func (db *DB) redoDropTable(name string) {
+	if db.wal != nil {
+		db.stmtBuf = appendDropTableOp(db.stmtBuf, name)
+	}
 }
 
 func (db *DB) execCreateTable(s *sqlparser.CreateTableStmt) (*Result, error) {
@@ -235,6 +423,7 @@ func (db *DB) execCreateTable(s *sqlparser.CreateTableStmt) (*Result, error) {
 		}
 	}
 	db.tables[s.Name] = t
+	db.redoCreateTable(s)
 	return &Result{}, nil
 }
 
@@ -251,9 +440,18 @@ func (db *DB) execCreateIndex(s *sqlparser.CreateIndexStmt) (*Result, error) {
 		if err := t.addIndex(s.Column, s.Unique); err != nil {
 			return nil, err
 		}
-		return &Result{}, t.addOrdIndex(s.Column)
+		db.redoCreateIndex(s.Table, s.Column, s.Unique, false)
+		if err := t.addOrdIndex(s.Column); err != nil {
+			return nil, err
+		}
+		db.redoCreateIndex(s.Table, s.Column, false, true)
+		return &Result{}, nil
 	case "HASH":
-		return &Result{}, t.addIndex(s.Column, s.Unique)
+		if err := t.addIndex(s.Column, s.Unique); err != nil {
+			return nil, err
+		}
+		db.redoCreateIndex(s.Table, s.Column, s.Unique, false)
+		return &Result{}, nil
 	case "BTREE", "ORDERED":
 		if s.Unique {
 			// Uniqueness is enforced through a hash index; the ordered
@@ -261,8 +459,13 @@ func (db *DB) execCreateIndex(s *sqlparser.CreateIndexStmt) (*Result, error) {
 			if err := t.addIndex(s.Column, true); err != nil {
 				return nil, err
 			}
+			db.redoCreateIndex(s.Table, s.Column, true, false)
 		}
-		return &Result{}, t.addOrdIndex(s.Column)
+		if err := t.addOrdIndex(s.Column); err != nil {
+			return nil, err
+		}
+		db.redoCreateIndex(s.Table, s.Column, false, true)
+		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("sqldb: unknown index type %q", s.Using)
 }
@@ -287,6 +490,18 @@ func (db *DB) InTxn() bool {
 // ROLLBACK. The statement still executes atomically under the database
 // lock.
 func (db *DB) ExecAutonomous(st sqlparser.Statement, params ...Value) (*Result, error) {
+	return db.execAutonomous(st, nil, params)
+}
+
+// ExecAutonomousWithMeta combines ExecAutonomous and ExecWithMeta: the
+// statement commits outside any open transaction, and the metadata blob
+// commits durably in the same WAL batch. The proxy's onion adjustments use
+// this so a layer transition and the metadata recording it are atomic.
+func (db *DB) ExecAutonomousWithMeta(st sqlparser.Statement, meta []byte, params ...Value) (*Result, error) {
+	return db.execAutonomous(st, meta, params)
+}
+
+func (db *DB) execAutonomous(st sqlparser.Statement, meta []byte, params []Value) (*Result, error) {
 	switch s := st.(type) {
 	case *sqlparser.InsertStmt:
 		db.mu.Lock()
@@ -294,23 +509,23 @@ func (db *DB) ExecAutonomous(st sqlparser.Statement, params ...Value) (*Result, 
 		saved := db.inTxn
 		db.inTxn = false
 		defer func() { db.inTxn = saved }()
-		return db.execInsert(s, params)
+		return db.durably(meta, true, func() (*Result, error) { return db.execInsert(s, params) })
 	case *sqlparser.UpdateStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
 		saved := db.inTxn
 		db.inTxn = false
 		defer func() { db.inTxn = saved }()
-		return db.execUpdate(s, params)
+		return db.durably(meta, true, func() (*Result, error) { return db.execUpdate(s, params) })
 	case *sqlparser.DeleteStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
 		saved := db.inTxn
 		db.inTxn = false
 		defer func() { db.inTxn = saved }()
-		return db.execDelete(s, params)
+		return db.durably(meta, true, func() (*Result, error) { return db.execDelete(s, params) })
 	}
-	return db.Exec(st, params...)
+	return db.exec(st, meta, true, params)
 }
 
 func (db *DB) begin() (*Result, error) {
@@ -318,6 +533,8 @@ func (db *DB) begin() (*Result, error) {
 	db.mu.Lock()
 	db.inTxn = true
 	db.undo = db.undo[:0]
+	db.txnBuf = db.txnBuf[:0]
+	db.txnMeta = nil
 	db.mu.Unlock()
 	return &Result{}, nil
 }
@@ -330,9 +547,25 @@ func (db *DB) commit() (*Result, error) {
 	}
 	db.inTxn = false
 	db.undo = nil
+	// The transaction's redo records become durable as one atomic batch:
+	// a crash replays all of its statements or none of them.
+	var err error
+	if db.wal != nil && len(db.txnBuf) > 0 {
+		db.walSeq++
+		if werr := db.wal.appendBatch(db.walSeq, db.txnBuf); werr != nil {
+			err = &DurabilityError{Err: werr}
+		} else {
+			if db.txnMeta != nil {
+				db.meta = db.txnMeta
+			}
+			err = db.maybeAutoCheckpointLocked()
+		}
+	}
+	db.txnBuf = db.txnBuf[:0]
+	db.txnMeta = nil
 	db.mu.Unlock()
 	db.txnMu.Unlock()
-	return &Result{}, nil
+	return &Result{}, err
 }
 
 func (db *DB) rollback() (*Result, error) {
@@ -359,6 +592,8 @@ func (db *DB) rollback() (*Result, error) {
 	}
 	db.inTxn = false
 	db.undo = nil
+	db.txnBuf = db.txnBuf[:0] // discard the transaction's redo records
+	db.txnMeta = nil
 	db.mu.Unlock()
 	db.txnMu.Unlock()
 	return &Result{}, nil

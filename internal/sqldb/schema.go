@@ -199,6 +199,38 @@ func (t *Table) insertRow(row []Value) (int, error) {
 	return slot, nil
 }
 
+// placeRow inserts a row into a specific slot, used by WAL replay and
+// snapshot loading: redo records address rows by the slot the original
+// execution assigned, so recovery must reproduce the layout exactly.
+// Constraint checks are skipped (the original execution validated them).
+func (t *Table) placeRow(slot int, row []Value) error {
+	for len(t.rows) <= slot {
+		if len(t.rows) != slot {
+			t.free = append(t.free, len(t.rows)) // interior gap: reusable
+		}
+		t.rows = append(t.rows, nil)
+	}
+	if t.rows[slot] != nil {
+		return fmt.Errorf("sqldb: replay places row into occupied slot %d of %s", slot, t.Name)
+	}
+	for i, s := range t.free {
+		if s == slot {
+			t.free[i] = t.free[len(t.free)-1]
+			t.free = t.free[:len(t.free)-1]
+			break
+		}
+	}
+	t.rows[slot] = row
+	for _, idx := range t.indexes {
+		idx.addSlot(row[idx.pos].Key(), slot)
+	}
+	for _, ix := range t.ordIndexes {
+		ix.insert(row[ix.pos], slot)
+	}
+	t.live++
+	return nil
+}
+
 // deleteRow removes the row in slot, maintaining indexes.
 func (t *Table) deleteRow(slot int) []Value {
 	row := t.rows[slot]

@@ -28,6 +28,7 @@ func EvalConst(e sqlparser.Expr, params []Value) (Value, error) {
 // references a column.
 type NotConstError struct{ Ref string }
 
+// Error implements the error interface.
 func (e *NotConstError) Error() string {
 	return "sqldb: expression references column " + e.Ref
 }

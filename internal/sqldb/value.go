@@ -30,6 +30,7 @@ const (
 	KindBlob
 )
 
+// String names the kind as its SQL type keyword.
 func (k Kind) String() string {
 	switch k {
 	case KindNull:
@@ -52,12 +53,20 @@ type Value struct {
 	B    []byte
 }
 
-// Convenience constructors.
-func Null() Value         { return Value{Kind: KindNull} }
-func Int(v int64) Value   { return Value{Kind: KindInt, I: v} }
+// Null returns the SQL NULL value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Int wraps a 64-bit integer as a Value.
+func Int(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// Text wraps a string as a Value.
 func Text(s string) Value { return Value{Kind: KindText, S: s} }
+
+// Blob wraps a byte slice as a Value (not copied).
 func Blob(b []byte) Value { return Value{Kind: KindBlob, B: b} }
-func Bool(b bool) Value   { return Int(boolToInt(b)) }
+
+// Bool encodes a boolean as the integers 1/0, MySQL-style.
+func Bool(b bool) Value { return Int(boolToInt(b)) }
 
 func boolToInt(b bool) int64 {
 	if b {

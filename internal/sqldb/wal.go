@@ -1,0 +1,588 @@
+// Write-ahead logging for the embedded DBMS. The WAL makes committed
+// writes durable: every autocommit statement (and every BEGIN..COMMIT
+// transaction) appends one CRC-framed batch of physical redo records, and
+// Open replays committed batches to reconstruct the exact in-memory state.
+// CryptDB's security story depends on this — the proxy's onion-layer
+// decisions are only meaningful if the ciphertexts they describe survive a
+// restart — so the WAL also carries opaque "meta" records the proxy uses to
+// commit its own metadata atomically with the server-side writes that
+// change it (see ExecWithMeta).
+//
+// On-disk layout (everything little-endian-free: lengths and integers are
+// big-endian or varint):
+//
+//	file   := header frame*
+//	header := magic[8] version[4] reserved[4]
+//	frame  := payloadLen[4] crc32(payload)[4] payload
+//	payload:= seq[8] op*
+//
+// A frame is the unit of atomicity: a crash can only ever truncate the
+// file inside the last frame, and replay stops at the first frame whose
+// length or CRC does not check out, discarding the torn tail. Batch
+// sequence numbers are strictly increasing; replay skips batches already
+// covered by the snapshot (see snapshot.go).
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/sqlparser"
+)
+
+// WAL op kinds. Ops are physical: they record slots and cell values, not
+// SQL, so replay is deterministic regardless of UDFs, randomness or
+// planner decisions during the original execution.
+const (
+	walOpInsert      = 1 // table, slot, row values
+	walOpDelete      = 2 // table, slot
+	walOpUpdate      = 3 // table, slot, pos, new value
+	walOpCreateTable = 4 // table, column defs (name, type, primary)
+	walOpCreateIndex = 5 // table, column, unique flag, kind (hash/ordered)
+	walOpDropTable   = 6 // table
+	walOpMeta        = 7 // opaque application metadata blob
+)
+
+const (
+	walMagic     = "CDBWAL\x00\x01"
+	walVersion   = 1
+	walHeaderLen = 16
+	frameHdrLen  = 8
+	// maxFrameLen rejects absurd lengths when scanning a (possibly
+	// corrupt) log, bounding allocation.
+	maxFrameLen = 1 << 30
+)
+
+// walOp is one decoded redo record.
+type walOp struct {
+	kind    byte
+	table   string
+	slot    int
+	pos     int
+	row     []Value
+	val     Value
+	cols    []walColDef
+	column  string
+	unique  bool
+	ordered bool
+	meta    []byte
+}
+
+type walColDef struct {
+	name    string
+	typ     sqlparser.ColType
+	primary bool
+}
+
+//
+// Encoding
+//
+
+func appendUvarint(buf []byte, u uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], u)
+	return append(buf, tmp[:n]...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case KindInt:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v.I))
+		buf = append(buf, b[:]...)
+	case KindText:
+		buf = appendString(buf, v.S)
+	case KindBlob:
+		buf = appendUvarint(buf, uint64(len(v.B)))
+		buf = append(buf, v.B...)
+	}
+	return buf
+}
+
+func appendInsertOp(buf []byte, table string, slot int, row []Value) []byte {
+	buf = append(buf, walOpInsert)
+	buf = appendString(buf, table)
+	buf = appendUvarint(buf, uint64(slot))
+	buf = appendUvarint(buf, uint64(len(row)))
+	for _, v := range row {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+func appendDeleteOp(buf []byte, table string, slot int) []byte {
+	buf = append(buf, walOpDelete)
+	buf = appendString(buf, table)
+	return appendUvarint(buf, uint64(slot))
+}
+
+func appendUpdateOp(buf []byte, table string, slot, pos int, v Value) []byte {
+	buf = append(buf, walOpUpdate)
+	buf = appendString(buf, table)
+	buf = appendUvarint(buf, uint64(slot))
+	buf = appendUvarint(buf, uint64(pos))
+	return appendValue(buf, v)
+}
+
+func appendCreateTableOp(buf []byte, table string, cols []walColDef) []byte {
+	buf = append(buf, walOpCreateTable)
+	buf = appendString(buf, table)
+	buf = appendUvarint(buf, uint64(len(cols)))
+	for _, c := range cols {
+		buf = appendString(buf, c.name)
+		buf = append(buf, byte(c.typ))
+		if c.primary {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+func appendCreateIndexOp(buf []byte, table, column string, unique, ordered bool) []byte {
+	buf = append(buf, walOpCreateIndex)
+	buf = appendString(buf, table)
+	buf = appendString(buf, column)
+	flags := byte(0)
+	if unique {
+		flags |= 1
+	}
+	if ordered {
+		flags |= 2
+	}
+	return append(buf, flags)
+}
+
+func appendDropTableOp(buf []byte, table string) []byte {
+	buf = append(buf, walOpDropTable)
+	return appendString(buf, table)
+}
+
+func appendMetaOp(buf []byte, meta []byte) []byte {
+	buf = append(buf, walOpMeta)
+	buf = appendUvarint(buf, uint64(len(meta)))
+	return append(buf, meta...)
+}
+
+//
+// Decoding
+//
+
+type walDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *walDecoder) done() bool { return d.off >= len(d.buf) }
+
+func (d *walDecoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *walDecoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *walDecoder) bytes(n uint64) ([]byte, error) {
+	if n > uint64(len(d.buf)-d.off) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b, nil
+}
+
+func (d *walDecoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.bytes(n)
+	return string(b), err
+}
+
+func (d *walDecoder) value() (Value, error) {
+	k, err := d.byte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch Kind(k) {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		b, err := d.bytes(8)
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(int64(binary.BigEndian.Uint64(b))), nil
+	case KindText:
+		s, err := d.string()
+		return Text(s), err
+	case KindBlob:
+		n, err := d.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := d.bytes(n)
+		if err != nil {
+			return Value{}, err
+		}
+		return Blob(append([]byte(nil), b...)), nil
+	}
+	return Value{}, fmt.Errorf("sqldb: wal: unknown value kind %d", k)
+}
+
+func (d *walDecoder) op() (walOp, error) {
+	kind, err := d.byte()
+	if err != nil {
+		return walOp{}, err
+	}
+	op := walOp{kind: kind}
+	switch kind {
+	case walOpInsert:
+		if op.table, err = d.string(); err != nil {
+			return op, err
+		}
+		slot, err := d.uvarint()
+		if err != nil {
+			return op, err
+		}
+		op.slot = int(slot)
+		n, err := d.uvarint()
+		if err != nil {
+			return op, err
+		}
+		op.row = make([]Value, n)
+		for i := range op.row {
+			if op.row[i], err = d.value(); err != nil {
+				return op, err
+			}
+		}
+	case walOpDelete:
+		if op.table, err = d.string(); err != nil {
+			return op, err
+		}
+		slot, err := d.uvarint()
+		if err != nil {
+			return op, err
+		}
+		op.slot = int(slot)
+	case walOpUpdate:
+		if op.table, err = d.string(); err != nil {
+			return op, err
+		}
+		slot, err := d.uvarint()
+		if err != nil {
+			return op, err
+		}
+		pos, err := d.uvarint()
+		if err != nil {
+			return op, err
+		}
+		op.slot, op.pos = int(slot), int(pos)
+		if op.val, err = d.value(); err != nil {
+			return op, err
+		}
+	case walOpCreateTable:
+		if op.table, err = d.string(); err != nil {
+			return op, err
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return op, err
+		}
+		op.cols = make([]walColDef, n)
+		for i := range op.cols {
+			if op.cols[i].name, err = d.string(); err != nil {
+				return op, err
+			}
+			t, err := d.byte()
+			if err != nil {
+				return op, err
+			}
+			p, err := d.byte()
+			if err != nil {
+				return op, err
+			}
+			op.cols[i].typ = sqlparser.ColType(t)
+			op.cols[i].primary = p != 0
+		}
+	case walOpCreateIndex:
+		if op.table, err = d.string(); err != nil {
+			return op, err
+		}
+		if op.column, err = d.string(); err != nil {
+			return op, err
+		}
+		flags, err := d.byte()
+		if err != nil {
+			return op, err
+		}
+		op.unique = flags&1 != 0
+		op.ordered = flags&2 != 0
+	case walOpDropTable:
+		if op.table, err = d.string(); err != nil {
+			return op, err
+		}
+	case walOpMeta:
+		n, err := d.uvarint()
+		if err != nil {
+			return op, err
+		}
+		b, err := d.bytes(n)
+		if err != nil {
+			return op, err
+		}
+		op.meta = append([]byte(nil), b...)
+	default:
+		return op, fmt.Errorf("sqldb: wal: unknown op kind %d", kind)
+	}
+	return op, nil
+}
+
+//
+// Replay: apply a decoded op to the database. Used both for WAL recovery
+// and for loading snapshots (a snapshot is a self-contained op stream that
+// rebuilds the whole database). Ops bypass the SQL layer: the original
+// execution already validated them, so constraint checks are skipped.
+//
+
+func (db *DB) applyOp(op walOp) error {
+	switch op.kind {
+	case walOpCreateTable:
+		if _, exists := db.tables[op.table]; exists {
+			return fmt.Errorf("sqldb: wal replay: table %s already exists", op.table)
+		}
+		cols := make([]Column, len(op.cols))
+		for i, c := range op.cols {
+			cols[i] = Column{Name: c.name, Type: c.typ}
+		}
+		t := newTable(op.table, cols)
+		for _, c := range op.cols {
+			if c.primary {
+				if err := t.addIndex(c.name, true); err != nil {
+					return err
+				}
+			}
+		}
+		db.tables[op.table] = t
+		return nil
+	case walOpCreateIndex:
+		t, ok := db.tables[op.table]
+		if !ok {
+			return fmt.Errorf("sqldb: wal replay: no table %s", op.table)
+		}
+		if op.ordered {
+			return t.addOrdIndex(op.column)
+		}
+		return t.addIndex(op.column, op.unique)
+	case walOpDropTable:
+		if _, ok := db.tables[op.table]; !ok {
+			return fmt.Errorf("sqldb: wal replay: no table %s", op.table)
+		}
+		delete(db.tables, op.table)
+		return nil
+	case walOpInsert:
+		t, ok := db.tables[op.table]
+		if !ok {
+			return fmt.Errorf("sqldb: wal replay: no table %s", op.table)
+		}
+		return t.placeRow(op.slot, op.row)
+	case walOpDelete:
+		t, ok := db.tables[op.table]
+		if !ok {
+			return fmt.Errorf("sqldb: wal replay: no table %s", op.table)
+		}
+		t.deleteRow(op.slot)
+		return nil
+	case walOpUpdate:
+		t, ok := db.tables[op.table]
+		if !ok {
+			return fmt.Errorf("sqldb: wal replay: no table %s", op.table)
+		}
+		if op.slot >= len(t.rows) || t.rows[op.slot] == nil {
+			return fmt.Errorf("sqldb: wal replay: update of empty slot %d in %s", op.slot, op.table)
+		}
+		t.updateCellUnchecked(op.slot, op.pos, op.val)
+		return nil
+	case walOpMeta:
+		db.meta = op.meta
+		return nil
+	}
+	return fmt.Errorf("sqldb: wal replay: unknown op kind %d", op.kind)
+}
+
+//
+// WAL file writer
+//
+
+type walWriter struct {
+	f      *os.File
+	path   string
+	size   int64
+	fsync  bool
+	closed bool
+
+	// stats
+	batches int64
+	bytes   int64
+	syncs   int64
+}
+
+func newWALHeader() []byte {
+	h := make([]byte, walHeaderLen)
+	copy(h, walMagic)
+	binary.BigEndian.PutUint32(h[8:], walVersion)
+	return h
+}
+
+// createWAL creates (or truncates) a WAL file with a fresh header.
+func createWAL(path string, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("sqldb: creating wal: %w", err)
+	}
+	if _, err := f.Write(newWALHeader()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("sqldb: writing wal header: %w", err)
+	}
+	w := &walWriter{f: f, path: path, size: walHeaderLen, fsync: fsync}
+	if err := w.maybeSync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// appendBatch frames and writes one committed batch.
+func (w *walWriter) appendBatch(seq uint64, ops []byte) error {
+	if w.closed {
+		return fmt.Errorf("sqldb: wal is closed")
+	}
+	payload := make([]byte, 8+len(ops))
+	binary.BigEndian.PutUint64(payload, seq)
+	copy(payload[8:], ops)
+	frame := make([]byte, frameHdrLen+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHdrLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("sqldb: wal append: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.batches++
+	w.bytes += int64(len(frame))
+	return w.maybeSync()
+}
+
+func (w *walWriter) maybeSync() error {
+	if !w.fsync {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("sqldb: wal sync: %w", err)
+	}
+	w.syncs++
+	return nil
+}
+
+// reset truncates the log back to an empty header (after a checkpoint made
+// its contents redundant).
+func (w *walWriter) reset() error {
+	if err := w.f.Truncate(walHeaderLen); err != nil {
+		return fmt.Errorf("sqldb: wal truncate: %w", err)
+	}
+	if _, err := w.f.Seek(walHeaderLen, io.SeekStart); err != nil {
+		return fmt.Errorf("sqldb: wal seek: %w", err)
+	}
+	w.size = walHeaderLen
+	return w.maybeSync()
+}
+
+func (w *walWriter) close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.maybeSync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// walBatch is one committed batch read back during recovery.
+type walBatch struct {
+	seq uint64
+	ops []walOp
+}
+
+// readWAL scans a WAL file, returning every intact committed batch and the
+// byte offset of the first damaged or missing frame. A torn or corrupt
+// tail is expected after a crash and is simply cut off; corruption in the
+// middle of the file cannot be distinguished from a torn tail by the
+// scanner, so everything after the damage is discarded either way.
+func readWAL(path string) (batches []walBatch, goodOffset int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data) < walHeaderLen || string(data[:8]) != walMagic {
+		return nil, 0, fmt.Errorf("sqldb: %s is not a wal file", path)
+	}
+	if v := binary.BigEndian.Uint32(data[8:12]); v != walVersion {
+		return nil, 0, fmt.Errorf("sqldb: wal version %d not supported", v)
+	}
+	off := int64(walHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHdrLen {
+			return batches, off, nil
+		}
+		plen := binary.BigEndian.Uint32(rest)
+		if plen < 8 || plen > maxFrameLen || int(plen) > len(rest)-frameHdrLen {
+			return batches, off, nil
+		}
+		want := binary.BigEndian.Uint32(rest[4:])
+		payload := rest[frameHdrLen : frameHdrLen+int(plen)]
+		if crc32.ChecksumIEEE(payload) != want {
+			return batches, off, nil
+		}
+		b := walBatch{seq: binary.BigEndian.Uint64(payload)}
+		d := &walDecoder{buf: payload[8:]}
+		ok := true
+		for !d.done() {
+			op, err := d.op()
+			if err != nil {
+				ok = false // framed but undecodable: treat as damage
+				break
+			}
+			b.ops = append(b.ops, op)
+		}
+		if !ok {
+			return batches, off, nil
+		}
+		batches = append(batches, b)
+		off += int64(frameHdrLen) + int64(plen)
+	}
+}

@@ -32,9 +32,24 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, erro
 
 	sc := &scope{}
 	sc.addTable("", t)
+	// The statement is atomic: if any row fails (evaluation error or a
+	// UNIQUE violation), the rows this statement already inserted are
+	// removed before the error returns — a rejected multi-row INSERT
+	// changes nothing, even outside a transaction. This also keeps the
+	// WAL exact: an errored statement logs no redo records, which is only
+	// correct if it also has no in-memory effect.
+	var inserted []int
+	undoMark := len(db.undo)
+	revert := func() {
+		for i := len(inserted) - 1; i >= 0; i-- {
+			t.deleteRow(inserted[i])
+		}
+		db.undo = db.undo[:undoMark] // drop the undo records of reverted rows
+	}
 	affected := 0
 	for _, exprRow := range s.Rows {
 		if len(exprRow) != len(positions) {
+			revert()
 			return nil, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprRow), len(positions))
 		}
 		row := make([]Value, len(t.Cols))
@@ -45,15 +60,19 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, erro
 			ctx := &evalCtx{db: db, scope: sc, tup: nil, params: params}
 			v, err := ctx.eval(e)
 			if err != nil {
+				revert()
 				return nil, err
 			}
 			row[positions[i]] = v
 		}
 		slot, err := t.insertRow(row)
 		if err != nil {
+			revert()
 			return nil, err
 		}
+		inserted = append(inserted, slot)
 		db.logInsert(t, slot)
+		db.redoInsert(t, slot, row)
 		affected++
 	}
 	return &Result{Affected: affected}, nil
@@ -123,6 +142,7 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, erro
 				return nil, err
 			}
 			db.logUpdate(t, slot, pos, old)
+			db.redoUpdate(t, slot, pos, newVals[i])
 			applied = append(applied, appliedCell{slot: slot, pos: pos, old: old})
 		}
 		affected++
@@ -147,6 +167,7 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, erro
 		row := t.deleteRow(slot)
 		if row != nil {
 			db.logDelete(t, row)
+			db.redoDelete(t, slot)
 			affected++
 		}
 	}
