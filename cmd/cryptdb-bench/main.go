@@ -16,6 +16,7 @@
 //	cryptdb-bench -fig bulkload batched, parallel multi-row INSERT pipeline (§3.1)
 //	cryptdb-bench -fig rangescan ordered OPE indexes vs full scans (§3.3)
 //	cryptdb-bench -fig durability WAL/snapshot write-path overhead & recovery
+//	cryptdb-bench -fig groupcommit concurrent sessions + WAL group commit
 //	cryptdb-bench -fig all      everything
 package main
 
@@ -26,24 +27,25 @@ import (
 )
 
 var figures = map[string]func() error{
-	"7":          fig7,
-	"8":          fig8,
-	"9":          fig9,
-	"10":         fig10,
-	"11":         fig11,
-	"12":         fig12,
-	"13":         fig13,
-	"14":         fig14,
-	"15":         fig15,
-	"storage":    figStorage,
-	"adjust":     figAdjust,
-	"ablation":   figAblation,
-	"bulkload":   figBulkLoad,
-	"rangescan":  figRangeScan,
-	"durability": figDurability,
+	"7":           fig7,
+	"8":           fig8,
+	"9":           fig9,
+	"10":          fig10,
+	"11":          fig11,
+	"12":          fig12,
+	"13":          fig13,
+	"14":          fig14,
+	"15":          fig15,
+	"storage":     figStorage,
+	"adjust":      figAdjust,
+	"ablation":    figAblation,
+	"bulkload":    figBulkLoad,
+	"rangescan":   figRangeScan,
+	"durability":  figDurability,
+	"groupcommit": figGroupCommit,
 }
 
-var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability"}
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit"}
 
 func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, durability, all)")

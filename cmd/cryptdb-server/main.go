@@ -12,10 +12,20 @@
 // Usage:
 //
 //	cryptdb-server [-addr :7432] [-multi] [-data-dir DIR]
-//	               [-wal-nofsync] [-checkpoint-mb N]
+//	               [-wal-nofsync] [-checkpoint-mb N] [-max-sessions N]
+//
+// Each TCP connection gets its own proxy session: BEGIN/COMMIT/ROLLBACK
+// scope to the connection that issued them, concurrent connections hold
+// independent transactions, and a connection that drops mid-transaction is
+// rolled back automatically. -max-sessions caps concurrent connections
+// (0 = unlimited); beyond the cap new connections are refused with an ERR
+// line rather than queued.
 //
 // With -multi the server runs in multi-principal mode: PRINCTYPE / ENC FOR /
 // SPEAKS FOR annotations are honored and cryptdb_active logins intercepted.
+// Connections still get private transaction scope (one mp session each);
+// login and key-chaining state stays global across connections, matching
+// §4.2's per-user (not per-connection) key model.
 //
 // With -data-dir the instance is durable: the embedded DBMS keeps a
 // write-ahead log and snapshots under DIR, and the proxy persists its key
@@ -60,6 +70,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for durable state (WAL, snapshots, proxy keys); empty runs in-memory")
 	noFsync := flag.Bool("wal-nofsync", false, "skip fsync after each commit (faster; a machine crash may lose recent commits)")
 	checkpointMB := flag.Int64("checkpoint-mb", 4, "WAL size in MiB that triggers an automatic snapshot; 0 disables")
+	maxSessions := flag.Int("max-sessions", 0, "maximum concurrent client sessions; 0 = unlimited")
 	flag.Parse()
 
 	srv, err := newServer(config{
@@ -68,6 +79,7 @@ func main() {
 		dataDir:      *dataDir,
 		noFsync:      *noFsync,
 		checkpointMB: *checkpointMB,
+		maxSessions:  *maxSessions,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -98,14 +110,22 @@ type config struct {
 	dataDir      string
 	noFsync      bool
 	checkpointMB int64
+	maxSessions  int
 }
 
 // server owns the listener, the executor stack (proxy or multi-principal
 // wrapper) and the durable database, and coordinates graceful shutdown.
+// Every connection executes on its own session (a proxy.Session, or an
+// mp.Session sharing the manager's global login state in -multi mode), so
+// transaction scope follows the connection.
 type server struct {
 	ln net.Listener
 	ex workload.Executor
+	px *proxy.Proxy // nil in multi-principal mode
+	mp *mp.Manager  // nil in single-principal mode
 	db *sqldb.DB
+
+	maxSessions int
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -138,8 +158,12 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	var ex workload.Executor = p
+	px := p
+	var mpm *mp.Manager
 	if cfg.multi {
-		ex = mp.New(p, mp.Options{})
+		mpm = mp.New(p, mp.Options{})
+		ex = mpm
+		px = nil // connections get mp sessions instead
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -147,11 +171,14 @@ func newServer(cfg config) (*server, error) {
 		return nil, err
 	}
 	return &server{
-		ln:    ln,
-		ex:    ex,
-		db:    db,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		ln:          ln,
+		ex:          ex,
+		px:          px,
+		mp:          mpm,
+		db:          db,
+		maxSessions: cfg.maxSessions,
+		conns:       make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
 	}, nil
 }
 
@@ -167,12 +194,31 @@ func (s *server) run() error {
 			continue
 		}
 		if !s.track(conn) {
-			conn.Close() // raced with shutdown
+			// Raced with shutdown, or the session cap is reached: tell the
+			// client why instead of silently dropping the connection.
+			if !s.isDraining() {
+				fmt.Fprintf(conn, "ERR server at max-sessions capacity (%d)\n", s.maxSessions)
+			}
+			conn.Close()
 			continue
 		}
 		go func() {
 			defer s.untrack(conn)
-			serve(conn, s.ex)
+			// One session per connection: transaction scope follows the
+			// connection, and closing the session rolls back anything the
+			// client left open (disconnect mid-transaction included).
+			ex := s.ex
+			switch {
+			case s.px != nil:
+				sess := s.px.NewSession()
+				defer sess.Close()
+				ex = sess
+			case s.mp != nil:
+				sess := s.mp.NewSession()
+				defer sess.Close()
+				ex = sess
+			}
+			serve(conn, ex)
 		}()
 	}
 
@@ -231,6 +277,9 @@ func (s *server) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		return false
+	}
+	if s.maxSessions > 0 && len(s.conns) >= s.maxSessions {
 		return false
 	}
 	s.conns[conn] = struct{}{}

@@ -303,3 +303,221 @@ func TestServerSurvivesSIGKILL(t *testing.T) {
 		t.Fatalf("mixed rows after restart:\ngot  %v\nwant %v", got, want)
 	}
 }
+
+// TestDisconnectMidTxnAutoRollback is the regression test for the stuck
+// transaction latch: in the seed, a client that dropped its connection
+// inside BEGIN left the single global transaction open forever, wedging
+// every other writer. Now the connection's session rolls back on close.
+func TestDisconnectMidTxnAutoRollback(t *testing.T) {
+	srv, err := newServer(config{addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.run() }()
+	defer func() {
+		srv.shutdown()
+		<-runErr
+	}()
+
+	dial := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", srv.ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn, bufio.NewReader(conn)
+	}
+
+	c0, r0 := dial()
+	defer c0.Close()
+	sendLine(t, c0, r0, "CREATE TABLE t (a INT)")
+	sendLine(t, c0, r0, "INSERT INTO t (a) VALUES (1)")
+
+	// Connection drops mid-transaction with a buffered write and a lock.
+	c1, r1 := dial()
+	sendLine(t, c1, r1, "BEGIN")
+	sendLine(t, c1, r1, "INSERT INTO t (a) VALUES (100)")
+	sendLine(t, c1, r1, "UPDATE t SET a = 2 WHERE a = 1")
+	c1.Close()
+
+	// The buffered write must vanish and the lock must come free. Poll
+	// briefly: the server notices the close asynchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := sendLine(t, c0, r0, "UPDATE t SET a = 3 WHERE a = 1")
+		if got[0] == "OK 1" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lock never released after disconnect: %v", got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	got := sendLine(t, c0, r0, "SELECT COUNT(*) FROM t")
+	if len(got) != 2 || got[0] != "ROW 1" {
+		t.Fatalf("buffered insert leaked past disconnect: %v", got)
+	}
+
+	// And a fresh connection can open its own transaction immediately —
+	// the seed would have hung here on the latched global txnMu.
+	c2, r2 := dial()
+	defer c2.Close()
+	sendLine(t, c2, r2, "BEGIN")
+	sendLine(t, c2, r2, "INSERT INTO t (a) VALUES (7)")
+	if got := sendLine(t, c2, r2, "COMMIT"); got[0] != "OK 0" {
+		t.Fatalf("commit on fresh connection: %v", got)
+	}
+}
+
+// TestConcurrentSessionsOverTCP: two live connections hold transactions at
+// the same time — impossible in the seed, where the second BEGIN blocked.
+func TestConcurrentSessionsOverTCP(t *testing.T) {
+	srv, err := newServer(config{addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.run() }()
+	defer func() {
+		srv.shutdown()
+		<-runErr
+	}()
+
+	dial := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", srv.ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn, bufio.NewReader(conn)
+	}
+	c0, r0 := dial()
+	defer c0.Close()
+	sendLine(t, c0, r0, "CREATE TABLE t (k INT, v INT)")
+
+	c1, r1 := dial()
+	defer c1.Close()
+	c2, r2 := dial()
+	defer c2.Close()
+	sendLine(t, c1, r1, "BEGIN")
+	sendLine(t, c2, r2, "BEGIN") // would block forever in the seed
+	sendLine(t, c1, r1, "INSERT INTO t (k, v) VALUES (1, 10)")
+	sendLine(t, c2, r2, "INSERT INTO t (k, v) VALUES (2, 20)")
+	if got := sendLine(t, c1, r1, "COMMIT"); got[0] != "OK 0" {
+		t.Fatalf("c1 commit: %v", got)
+	}
+	if got := sendLine(t, c2, r2, "COMMIT"); got[0] != "OK 0" {
+		t.Fatalf("c2 commit: %v", got)
+	}
+	got := sendLine(t, c0, r0, "SELECT COUNT(*) FROM t")
+	if len(got) != 2 || got[0] != "ROW 2" {
+		t.Fatalf("both transactions should have committed: %v", got)
+	}
+}
+
+// TestMaxSessions: connections beyond -max-sessions are refused with an
+// explanatory ERR line, and capacity frees up when a session closes.
+func TestMaxSessions(t *testing.T) {
+	srv, err := newServer(config{addr: "127.0.0.1:0", maxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.run() }()
+	defer func() {
+		srv.shutdown()
+		<-runErr
+	}()
+
+	c1, err := net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	r1 := bufio.NewReader(c1)
+	sendLine(t, c1, r1, "CREATE TABLE t (a INT)") // session 1 is live
+
+	c2, err := net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := bufio.NewReader(c2).ReadString('\n')
+	c2.Close()
+	if err != nil || !strings.HasPrefix(line, "ERR") || !strings.Contains(line, "max-sessions") {
+		t.Fatalf("over-capacity connection: line=%q err=%v, want ERR max-sessions", line, err)
+	}
+
+	// Freeing the slot admits the next client.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c3, err := net.Dial("tcp", srv.ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r3 := bufio.NewReader(c3)
+		if _, err := fmt.Fprintf(c3, "SELECT COUNT(*) FROM t\n"); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r3.ReadString('\n')
+		c3.Close()
+		if err == nil && strings.HasPrefix(line, "ROW") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("capacity never freed: line=%q err=%v", line, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestMultiModeDisconnectMidTxn: multi-principal mode also gives each
+// connection its own transaction scope; a dropped connection must not
+// wedge the shared manager (the seed-era stuck-latch bug, -multi flavor).
+func TestMultiModeDisconnectMidTxn(t *testing.T) {
+	srv, err := newServer(config{addr: "127.0.0.1:0", multi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.run() }()
+	defer func() {
+		srv.shutdown()
+		<-runErr
+	}()
+
+	dial := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", srv.ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn, bufio.NewReader(conn)
+	}
+	c0, r0 := dial()
+	defer c0.Close()
+	sendLine(t, c0, r0, "CREATE TABLE t (a INT)")
+
+	c1, r1 := dial()
+	sendLine(t, c1, r1, "BEGIN")
+	sendLine(t, c1, r1, "INSERT INTO t (a) VALUES (1)")
+	c1.Close() // vanish mid-transaction
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := sendLine(t, c0, r0, "BEGIN")
+		if got[0] == "OK 0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("BEGIN never recovered after -multi disconnect: %v", got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sendLine(t, c0, r0, "INSERT INTO t (a) VALUES (2)")
+	if got := sendLine(t, c0, r0, "COMMIT"); got[0] != "OK 0" {
+		t.Fatalf("commit: %v", got)
+	}
+	got := sendLine(t, c0, r0, "SELECT COUNT(*) FROM t")
+	if len(got) != 2 || got[0] != "ROW 1" {
+		t.Fatalf("ghost insert leaked or commit lost: %v", got)
+	}
+}

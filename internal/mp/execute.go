@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/proxy"
 	"repro/internal/sqldb"
 	"repro/internal/sqlparser"
 )
@@ -16,7 +17,9 @@ const ActiveTable = "cryptdb_active"
 
 // Execute runs one application SQL statement through the multi-principal
 // layer: principal declarations, login/logout interception, speaks-for
-// maintenance on writes, then the ordinary encrypted-query pipeline.
+// maintenance on writes, then the ordinary encrypted-query pipeline. It
+// executes on the underlying proxy's default session; per-connection
+// transaction scope comes from Manager.NewSession.
 func (m *Manager) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
 	st, err := sqlparser.Parse(sql)
 	if err != nil {
@@ -25,8 +28,51 @@ func (m *Manager) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, err
 	return m.ExecuteStmt(st, params...)
 }
 
-// ExecuteStmt runs a pre-parsed statement.
+// ExecuteStmt runs a pre-parsed statement on the proxy's default session.
 func (m *Manager) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
+	return m.executeOn(m.p, st, params)
+}
+
+// stmtExecutor abstracts where DBMS-bound statements run: the proxy itself
+// (its default session) or one per-connection proxy.Session. The key
+// chaining and speaks-for state stays on the Manager either way — logins
+// are global, matching §4.2's per-user (not per-connection) key model.
+type stmtExecutor interface {
+	ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*sqldb.Result, error)
+}
+
+// Session is one connection's execution context in multi-principal mode:
+// shared key-chaining state, private transaction scope. Close rolls back
+// any open transaction (the disconnect path must not leave row locks).
+type Session struct {
+	m  *Manager
+	ps *proxy.Session
+}
+
+// NewSession opens an independent session over the manager's proxy.
+func (m *Manager) NewSession() *Session {
+	return &Session{m: m, ps: m.p.NewSession()}
+}
+
+// Close releases the session, rolling back any open transaction.
+func (s *Session) Close() error { return s.ps.Close() }
+
+// Execute parses and runs one statement on this session.
+func (s *Session) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
+	st, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.m.executeOn(s.ps, st, params)
+}
+
+// ExecuteStmt runs a pre-parsed statement on this session.
+func (s *Session) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
+	return s.m.executeOn(s.ps, st, params)
+}
+
+// executeOn dispatches one statement, running DBMS-bound work on ex.
+func (m *Manager) executeOn(ex stmtExecutor, st sqlparser.Statement, params []sqldb.Value) (*sqldb.Result, error) {
 	switch s := st.(type) {
 	case *sqlparser.PrincTypeStmt:
 		m.mu.Lock()
@@ -40,7 +86,7 @@ func (m *Manager) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*s
 		return &sqldb.Result{}, nil
 
 	case *sqlparser.CreateTableStmt:
-		res, err := m.p.ExecuteStmt(s, params...)
+		res, err := ex.ExecuteStmt(s, params...)
 		if err != nil {
 			return nil, err
 		}
@@ -66,7 +112,7 @@ func (m *Manager) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*s
 		if err != nil {
 			return nil, fmt.Errorf("mp: maintaining speaks-for on insert: %w", err)
 		}
-		return m.p.ExecuteStmt(s, params...)
+		return ex.ExecuteStmt(s, params...)
 
 	case *sqlparser.DeleteStmt:
 		if s.Table == ActiveTable {
@@ -78,7 +124,7 @@ func (m *Manager) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*s
 		if revokeErr != nil {
 			return nil, revokeErr
 		}
-		res, err := m.p.ExecuteStmt(s, params...)
+		res, err := ex.ExecuteStmt(s, params...)
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +138,7 @@ func (m *Manager) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*s
 		return res, nil
 
 	default:
-		return m.p.ExecuteStmt(st, params...)
+		return ex.ExecuteStmt(st, params...)
 	}
 }
 

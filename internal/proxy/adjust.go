@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/onion"
 	"repro/internal/sqldb"
@@ -128,7 +129,13 @@ func (p *Proxy) lowerTo(cm *ColumnMeta, o onion.Onion, target onion.Layer) error
 	// Atomicity against crashes comes from the WAL: the server-side
 	// UPDATE and the sealed metadata snapshot recording the descended
 	// layer commit in one batch, so recovery always sees a ciphertext
-	// column and a layer pointer that agree.
+	// column and a layer pointer that agree. An open transaction that has
+	// written this table blocks the adjustment (conflict error, not a
+	// wait): its buffered rows were encrypted at the current layer and
+	// would bypass the re-encrypting UPDATE below.
+	if err := p.adjustBlocked(cm.Table); err != nil {
+		return err
+	}
 	for _, layer := range layers {
 		if layer != onion.RND {
 			return fmt.Errorf("proxy: cannot strip non-RND layer %s of %s onion", layer, o)
@@ -162,7 +169,7 @@ func (p *Proxy) lowerTo(cm *ColumnMeta, o onion.Onion, target onion.Layer) error
 			return fmt.Errorf("proxy: onion adjustment: %w", err)
 		}
 		p.metaMu.Unlock()
-		p.stats.OnionAdjustments++
+		atomic.AddInt64(&p.stats.OnionAdjustments, 1)
 	}
 	return p.materializeIndexes(cm)
 }
@@ -212,6 +219,10 @@ func (p *Proxy) adjustJoin(a, b *ColumnMeta) error {
 		if delta.Cmp(bigOne) == 0 {
 			continue // same key already
 		}
+		// Same rule as lowerTo: a buffered write would miss the re-keying.
+		if err := p.adjustBlocked(cm.Table); err != nil {
+			return err
+		}
 		upd := &sqlparser.UpdateStmt{
 			Table: cm.Table.Anon,
 			Assignments: []sqlparser.Assignment{{
@@ -250,7 +261,7 @@ func (p *Proxy) adjustJoin(a, b *ColumnMeta) error {
 			return fmt.Errorf("proxy: join adjustment: %w", err)
 		}
 		p.metaMu.Unlock()
-		p.stats.OnionAdjustments++
+		atomic.AddInt64(&p.stats.OnionAdjustments, 1)
 		if err := p.materializeIndexes(cm); err != nil {
 			return err
 		}
@@ -290,6 +301,12 @@ func (p *Proxy) maybeResync(cm *ColumnMeta) error {
 	if p.opts.Training {
 		cm.Stale = make(map[onion.Onion]bool)
 		return nil
+	}
+	// The per-row rewrite below re-materializes every onion from the Add
+	// onion; rows buffered by an open transaction would be skipped and
+	// then committed stale, so refuse (retryable) while one is open.
+	if err := p.adjustBlocked(cm.Table); err != nil {
+		return err
 	}
 
 	sel := &sqlparser.SelectStmt{
@@ -337,7 +354,7 @@ func (p *Proxy) maybeResync(cm *ColumnMeta) error {
 		}
 	}
 	cm.Stale = make(map[onion.Onion]bool)
-	p.stats.Resyncs++
+	atomic.AddInt64(&p.stats.Resyncs, 1)
 	// Persist the cleared staleness. A crash before this point leaves the
 	// stale flags set, which only costs a redundant (idempotent) resync
 	// on the next restart — never a stale answer.

@@ -15,12 +15,11 @@ import (
 // steps 1-4). Parsed statements are memoized in a bounded LRU keyed by the
 // SQL text, so repeated statement shapes (the common case for parameterized
 // workloads) skip the parser entirely.
+//
+// Execute runs on the proxy's implicit default session; callers that need
+// per-connection transaction scope open explicit sessions (NewSession).
 func (p *Proxy) Execute(sql string, params ...sqldb.Value) (*sqldb.Result, error) {
-	st, err := p.parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	return p.ExecuteStmt(st, params...)
+	return p.defaultSession().Execute(sql, params...)
 }
 
 // parse consults the AST cache before invoking the parser. Cached ASTs are
@@ -41,58 +40,9 @@ func (p *Proxy) parse(sql string) (sqlparser.Statement, error) {
 	return st, nil
 }
 
-// ExecuteStmt runs a pre-parsed statement.
+// ExecuteStmt runs a pre-parsed statement on the default session.
 func (p *Proxy) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
-	atomic.AddInt64(&p.stats.Queries, 1)
-	switch s := st.(type) {
-	case *sqlparser.CreateTableStmt:
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		return &sqldb.Result{}, p.createTable(s)
-	case *sqlparser.CreateIndexStmt:
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		return &sqldb.Result{}, p.createIndex(s)
-	case *sqlparser.DropTableStmt:
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		tm, ok := p.tables[s.Name]
-		if !ok {
-			return nil, fmt.Errorf("proxy: no table %s", s.Name)
-		}
-		delete(p.tables, s.Name)
-		p.metaMu.Lock()
-		defer p.metaMu.Unlock()
-		sealed, err := p.sealedMetaLocked()
-		if err != nil {
-			p.tables[s.Name] = tm
-			return nil, err
-		}
-		res, err := p.db.ExecWithMeta(&sqlparser.DropTableStmt{Name: tm.Anon}, sealed)
-		if err != nil && !stmtApplied(err) {
-			p.tables[s.Name] = tm
-		}
-		return res, err
-	case *sqlparser.BeginStmt, *sqlparser.CommitStmt, *sqlparser.RollbackStmt:
-		// Transactions pass through unchanged (§3.3).
-		if p.opts.Training {
-			return &sqldb.Result{}, nil
-		}
-		return p.db.Exec(st)
-	case *sqlparser.PrincTypeStmt:
-		// Principal metadata is consumed by the multi-principal layer;
-		// the single-principal proxy records nothing.
-		return &sqldb.Result{}, nil
-	case *sqlparser.SelectStmt:
-		return p.execSelect(s, params)
-	case *sqlparser.InsertStmt:
-		return p.execInsert(s, params)
-	case *sqlparser.UpdateStmt:
-		return p.execUpdate(s, params)
-	case *sqlparser.DeleteStmt:
-		return p.execDelete(s, params)
-	}
-	return nil, fmt.Errorf("proxy: unsupported statement %T", st)
+	return p.defaultSession().ExecuteStmt(st, params...)
 }
 
 // adjNeeded reports whether applying the analysis would mutate proxy state
@@ -195,7 +145,8 @@ func (p *Proxy) prepare(analyze func() (*analysis, error)) (release func(), err 
 // SELECT
 //
 
-func (p *Proxy) execSelect(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqldb.Result, error) {
+func (sess *Session) execSelect(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	p := sess.p
 	var qs *qscope
 	release, err := p.prepare(func() (*analysis, error) {
 		var err error
@@ -229,7 +180,7 @@ func (p *Proxy) execSelect(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqld
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.db.Exec(server)
+	res, err := sess.db.Exec(server)
 	if err != nil {
 		return nil, fmt.Errorf("proxy: server error: %w", err)
 	}
@@ -384,7 +335,7 @@ func (p *Proxy) buildSelect(s *sqlparser.SelectStmt, qs *qscope, params []sqldb.
 			return nil, nil, err
 		}
 		plan.sortKeys = append(plan.sortKeys, sortKeyPlan{dec: dec, desc: o.Desc})
-		p.stats.InProxySorts++
+		atomic.AddInt64(&p.stats.InProxySorts, 1)
 	}
 
 	// LIMIT/OFFSET stay on the server only when no proxy-side filtering
@@ -575,7 +526,8 @@ func compareValues(a, b sqldb.Value) int {
 // INSERT
 //
 
-func (p *Proxy) execInsert(s *sqlparser.InsertStmt, params []sqldb.Value) (*sqldb.Result, error) {
+func (sess *Session) execInsert(s *sqlparser.InsertStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	p := sess.p
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	tm, ok := p.tables[s.Table]
@@ -656,7 +608,8 @@ func (p *Proxy) execInsert(s *sqlparser.InsertStmt, params []sqldb.Value) (*sqld
 		return nil, err
 	}
 	server.Rows = serverRows
-	return p.db.Exec(server)
+	sess.markTouched(tm.Logical)
+	return sess.db.Exec(server)
 }
 
 // encryptInsertRow produces the server-side expression row (rid plus every
@@ -737,7 +690,8 @@ func (p *Proxy) encryptRowValue(cm *ColumnMeta, v sqldb.Value) ([]sqlparser.Expr
 // UPDATE
 //
 
-func (p *Proxy) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqldb.Result, error) {
+func (sess *Session) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	p := sess.p
 	var qs *qscope
 	var assigns []updateAssign
 	release, err := p.prepare(func() (*analysis, error) {
@@ -772,7 +726,7 @@ func (p *Proxy) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqld
 		}
 	}
 	if needTwoQuery {
-		return p.execTwoQueryUpdate(s, tm, qs, assigns, params)
+		return sess.execTwoQueryUpdate(s, tm, qs, assigns, params)
 	}
 
 	where, err := p.rewritePredicate(s.Where, qs, params, false)
@@ -838,6 +792,7 @@ func (p *Proxy) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqld
 			a.cm.mu.Unlock()
 		}
 	}
+	sess.markTouched(tm.Logical)
 	if madeStale && p.persistent() {
 		// First increment against a clean column: commit the staleness
 		// flags in the same WAL batch as the hom_add UPDATE. Inside a
@@ -849,9 +804,9 @@ func (p *Proxy) execUpdate(s *sqlparser.UpdateStmt, params []sqldb.Value) (*sqld
 		if err != nil {
 			return nil, err
 		}
-		return p.db.ExecWithMeta(server, sealed)
+		return sess.db.ExecWithMeta(server, sealed)
 	}
-	return p.db.Exec(server)
+	return sess.db.Exec(server)
 }
 
 // onionColNames lists the server columns written by encryptRowValue, in the
@@ -868,7 +823,8 @@ func onionColNames(cm *ColumnMeta) []string {
 // execTwoQueryUpdate implements §3.3's strategy for updates the server
 // cannot compute: SELECT the old rows, compute new values at the proxy,
 // then UPDATE each row by hidden row id.
-func (p *Proxy) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, qs *qscope, assigns []updateAssign, params []sqldb.Value) (*sqldb.Result, error) {
+func (sess *Session) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, qs *qscope, assigns []updateAssign, params []sqldb.Value) (*sqldb.Result, error) {
+	p := sess.p
 	b := newPlanBuilder(p, qs, params)
 	ridIdx := b.addServer(&sqlparser.ColRef{Column: "rid"})
 
@@ -917,11 +873,31 @@ func (p *Proxy) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, qs *q
 		From:  []sqlparser.TableRef{{Table: tm.Anon, Alias: anonAlias(0)}},
 		Where: where,
 	}
-	res, err := p.db.Exec(sel)
+	res, err := sess.db.Exec(sel)
 	if err != nil {
 		return nil, err
 	}
 
+	// The strategy issues one server-side UPDATE per matched row. Make the
+	// logical statement atomic: if the client has no transaction open,
+	// wrap the per-row writes in one, so a mid-loop failure (write
+	// conflict, encryption error) rolls back the rows already written
+	// instead of leaving a partially applied UPDATE. Inside a client
+	// transaction the rows buffer into it as before.
+	ownTxn := !sess.db.InTxn()
+	if ownTxn {
+		if _, err := sess.db.Exec(&sqlparser.BeginStmt{}); err != nil {
+			return nil, err
+		}
+	}
+	sess.markTouched(tm.Logical)
+	abort := func(err error) (*sqldb.Result, error) {
+		if ownTxn {
+			sess.db.Exec(&sqlparser.RollbackStmt{}) //nolint:errcheck // already failing
+			sess.resetTouched()
+		}
+		return nil, err
+	}
 	affected := 0
 	for _, row := range res.Rows {
 		upd := &sqlparser.UpdateStmt{
@@ -937,7 +913,7 @@ func (p *Proxy) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, qs *q
 			} else {
 				v, err := ap.valDec(row)
 				if err != nil {
-					return nil, err
+					return abort(err)
 				}
 				newVal = v
 			}
@@ -948,22 +924,22 @@ func (p *Proxy) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, qs *q
 					sqlparser.Assignment{Column: cm.Anon, Value: valueToExpr(newVal)})
 			case cm.EncFor != nil:
 				if p.princ == nil {
-					return nil, fmt.Errorf("proxy: ENC FOR column requires multi-principal mode")
+					return abort(fmt.Errorf("proxy: ENC FOR column requires multi-principal mode"))
 				}
 				ov, err := ap.ownerDec(row)
 				if err != nil {
-					return nil, err
+					return abort(err)
 				}
 				ct, err := p.princ.EncryptFor(cm.EncFor.PrincType, ov.String(), tm.Logical, cm.Logical, newVal)
 				if err != nil {
-					return nil, err
+					return abort(err)
 				}
 				upd.Assignments = append(upd.Assignments,
 					sqlparser.Assignment{Column: cm.mpCol(), Value: valueToExpr(ct)})
 			default:
 				exprs, err := p.encryptRowValue(cm, newVal)
 				if err != nil {
-					return nil, err
+					return abort(err)
 				}
 				for i, name := range onionColNames(cm) {
 					upd.Assignments = append(upd.Assignments,
@@ -971,10 +947,17 @@ func (p *Proxy) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, qs *q
 				}
 			}
 		}
-		if _, err := p.db.Exec(upd); err != nil {
-			return nil, err
+		if _, err := sess.db.Exec(upd); err != nil {
+			return abort(err)
 		}
 		affected++
+	}
+	if ownTxn {
+		if _, err := sess.db.Exec(&sqlparser.CommitStmt{}); err != nil {
+			sess.resetTouched()
+			return nil, err
+		}
+		sess.resetTouched()
 	}
 	return &sqldb.Result{Affected: affected}, nil
 }
@@ -983,7 +966,8 @@ func (p *Proxy) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, qs *q
 // DELETE
 //
 
-func (p *Proxy) execDelete(s *sqlparser.DeleteStmt, params []sqldb.Value) (*sqldb.Result, error) {
+func (sess *Session) execDelete(s *sqlparser.DeleteStmt, params []sqldb.Value) (*sqldb.Result, error) {
+	p := sess.p
 	var qs *qscope
 	release, err := p.prepare(func() (*analysis, error) {
 		var err error
@@ -1007,5 +991,6 @@ func (p *Proxy) execDelete(s *sqlparser.DeleteStmt, params []sqldb.Value) (*sqld
 	if err != nil {
 		return nil, err
 	}
-	return p.db.Exec(&sqlparser.DeleteStmt{Table: qs.entries[0].tm.Anon, Where: where})
+	sess.markTouched(qs.entries[0].tm.Logical)
+	return sess.db.Exec(&sqlparser.DeleteStmt{Table: qs.entries[0].tm.Anon, Where: where})
 }

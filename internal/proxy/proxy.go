@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/crypto/hom"
 	"repro/internal/crypto/joinadj"
@@ -78,7 +79,10 @@ type PrincipalCrypto interface {
 	DecryptFor(ptype, pname, table, col string, v sqldb.Value) (sqldb.Value, error)
 }
 
-// Stats counts proxy work for the evaluation harness.
+// Stats counts proxy work for the evaluation harness. The counters on the
+// live Proxy are updated atomically (steady-state queries bump them under
+// the read lock, concurrently), so a Stats snapshot is safe to take from
+// any goroutine.
 type Stats struct {
 	Queries          int64
 	OnionAdjustments int64
@@ -107,6 +111,14 @@ type Proxy struct {
 	opts     Options
 	stats    Stats
 	astCache *astCache // nil when disabled
+
+	// sessions tracks every live Session (guarded by sessMu) so onion
+	// adjustments can detect conflicts with open transactions; defSess is
+	// the lazily created session behind the sessionless Execute API.
+	sessMu   sync.Mutex
+	sessions map[*Session]struct{}
+	defOnce  sync.Once
+	defSess  *Session
 
 	// dataDir is non-empty for a durable proxy; metaMu serializes sealed
 	// metadata snapshots with the WAL appends that carry them, so blob
@@ -231,12 +243,13 @@ func newProxy(db *sqldb.DB, mk *keys.Master, hk *hom.Key, opts Options) (*Proxy,
 		}
 	}
 	p := &Proxy{
-		db:      db,
-		mk:      mk,
-		tables:  make(map[string]*TableMeta),
-		homKey:  hk,
-		joinPRF: mk.DeriveLabel("joinadj-shared-prf"),
-		opts:    opts,
+		db:       db,
+		mk:       mk,
+		tables:   make(map[string]*TableMeta),
+		homKey:   hk,
+		joinPRF:  mk.DeriveLabel("joinadj-shared-prf"),
+		opts:     opts,
+		sessions: make(map[*Session]struct{}),
 	}
 	if opts.ASTCacheSize >= 0 {
 		size := opts.ASTCacheSize
@@ -266,9 +279,14 @@ func (p *Proxy) SetPrincipalCrypto(pc PrincipalCrypto) {
 
 // Stats returns a snapshot of the proxy's counters.
 func (p *Proxy) Stats() Stats {
+	out := Stats{
+		Queries:          atomic.LoadInt64(&p.stats.Queries),
+		OnionAdjustments: atomic.LoadInt64(&p.stats.OnionAdjustments),
+		Resyncs:          atomic.LoadInt64(&p.stats.Resyncs),
+		InProxySorts:     atomic.LoadInt64(&p.stats.InProxySorts),
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := p.stats
 	if p.astCache != nil {
 		out.ASTCacheHits, out.ASTCacheMisses = p.astCache.counters()
 	}

@@ -36,30 +36,33 @@ type Result struct {
 // DB is an embedded SQL database. All methods are safe for concurrent use;
 // statements execute under a database-wide reader/writer lock, which — like
 // the internal lock contention the paper observes in MySQL (§8.4.1) —
-// bounds multi-core scaling for write-heavy mixes.
+// bounds multi-core scaling for write-heavy mixes. Transactions are scoped
+// to sessions (NewSession): any number of sessions may hold open
+// transactions concurrently, writing into private buffers that commit
+// atomically (see session.go). The DB-level Exec methods run on an
+// implicit default session, preserving the seed's single-connection API.
 type DB struct {
 	mu      sync.RWMutex
 	tables  map[string]*Table
 	udfs    map[string]UDF
 	aggUDFs map[string]AggUDF
 
-	txnMu  sync.Mutex // serializes transactions
-	inTxn  bool
-	undo   []undoOp
-	txnOwn bool
+	// openTxns tracks every in-flight transaction (guarded by mu); DROP
+	// TABLE consults it so a commit can never resurrect a dropped table.
+	openTxns map[*Txn]struct{}
+
+	defOnce sync.Once
+	defSess *Session // lazy default session behind DB.Exec
 
 	// Durability state (nil/zero for a pure in-memory database). stmtBuf
-	// accumulates the redo records of the statement being executed;
-	// txnBuf accumulates the committed statements of an open transaction.
-	// Both hold pre-encoded WAL ops (see wal.go).
+	// accumulates the redo records of the statement being executed, under
+	// mu; it holds pre-encoded WAL ops (see wal.go).
 	wal         *walWriter
 	lock        *dirLock
 	dir         string
 	dopts       DurabilityOptions
 	walSeq      uint64
 	stmtBuf     []byte
-	txnBuf      []byte
-	txnMeta     []byte
 	checkpoints int64
 
 	// meta is the last committed application-metadata blob (the CryptDB
@@ -109,22 +112,28 @@ func (db *DB) trackBusy(start time.Time) {
 	atomic.AddInt64(&db.busyNanos, int64(time.Since(start)))
 }
 
-type undoOp struct {
-	kind  int // 0 = undo insert, 1 = undo delete, 2 = undo update cell
-	table *Table
-	slot  int
-	row   []Value
-	pos   int
-	old   Value
-}
-
 // New creates an empty database.
 func New() *DB {
 	return &DB{
-		tables:  make(map[string]*Table),
-		udfs:    make(map[string]UDF),
-		aggUDFs: make(map[string]AggUDF),
+		tables:   make(map[string]*Table),
+		udfs:     make(map[string]UDF),
+		aggUDFs:  make(map[string]AggUDF),
+		openTxns: make(map[*Txn]struct{}),
 	}
+}
+
+// defaultSession returns the implicit session behind the DB-level Exec
+// methods, creating it on first use.
+func (db *DB) defaultSession() *Session {
+	db.defOnce.Do(func() { db.defSess = db.NewSession() })
+	return db.defSess
+}
+
+// registerTxn records a newly begun transaction.
+func (db *DB) registerTxn(txn *Txn) {
+	db.mu.Lock()
+	db.openTxns[txn] = struct{}{}
+	db.mu.Unlock()
 }
 
 // RegisterUDF installs a scalar UDF under name (case-sensitive, by
@@ -182,9 +191,12 @@ func (db *DB) ExecSQL(sql string, params ...Value) (*Result, error) {
 	return db.Exec(st, params...)
 }
 
-// Exec executes a parsed statement.
+// Exec executes a parsed statement on the implicit default session. Code
+// that needs concurrent transactions opens explicit sessions instead
+// (NewSession); statements outside a transaction behave identically either
+// way.
 func (db *DB) Exec(st sqlparser.Statement, params ...Value) (*Result, error) {
-	return db.exec(st, nil, false, params)
+	return db.defaultSession().Exec(st, params...)
 }
 
 // ExecWithMeta executes a write statement and attaches an opaque
@@ -196,12 +208,15 @@ func (db *DB) Exec(st sqlparser.Statement, params ...Value) (*Result, error) {
 // not, or vice versa. The latest committed blob is returned by Meta after
 // Open. On an in-memory database the blob is retained in memory only.
 func (db *DB) ExecWithMeta(st sqlparser.Statement, meta []byte, params ...Value) (*Result, error) {
-	return db.exec(st, meta, false, params)
+	return db.defaultSession().ExecWithMeta(st, meta, params...)
 }
 
-// exec dispatches a statement. DDL is always durable autonomously (it is
-// not undo-logged, so it must not be discardable by a client ROLLBACK).
-func (db *DB) exec(st sqlparser.Statement, meta []byte, autonomous bool, params []Value) (*Result, error) {
+// execStateless dispatches a statement that does not involve this caller's
+// transaction state: reads, autocommit writes, and DDL (which is always
+// durable immediately — it is not buffered, so it must not be discardable
+// by a client ROLLBACK). Transaction delimiters are rejected; they only
+// make sense on a session.
+func (db *DB) execStateless(st sqlparser.Statement, meta []byte, params []Value) (*Result, error) {
 	defer db.trackBusy(time.Now())
 	switch s := st.(type) {
 	case *sqlparser.SelectStmt:
@@ -209,35 +224,19 @@ func (db *DB) exec(st sqlparser.Statement, meta []byte, autonomous bool, params 
 		defer db.mu.RUnlock()
 		return db.execSelect(s, params)
 	case *sqlparser.InsertStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.durably(meta, autonomous, func() (*Result, error) { return db.execInsert(s, params) })
+		return db.autocommit(meta, func() (*Result, error) { return db.execInsert(s, params) })
 	case *sqlparser.UpdateStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.durably(meta, autonomous, func() (*Result, error) { return db.execUpdate(s, params) })
+		return db.autocommit(meta, func() (*Result, error) { return db.execUpdate(s, params) })
 	case *sqlparser.DeleteStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.durably(meta, autonomous, func() (*Result, error) { return db.execDelete(s, params) })
+		return db.autocommit(meta, func() (*Result, error) { return db.execDelete(s, params) })
 	case *sqlparser.CreateTableStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.durably(meta, true, func() (*Result, error) { return db.execCreateTable(s) })
+		return db.autocommit(meta, func() (*Result, error) { return db.execCreateTable(s) })
 	case *sqlparser.CreateIndexStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.durably(meta, true, func() (*Result, error) { return db.execCreateIndex(s) })
+		return db.autocommit(meta, func() (*Result, error) { return db.execCreateIndex(s) })
 	case *sqlparser.DropTableStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		return db.durably(meta, true, func() (*Result, error) { return db.execDropTable(s) })
-	case *sqlparser.BeginStmt:
-		return db.begin()
-	case *sqlparser.CommitStmt:
-		return db.commit()
-	case *sqlparser.RollbackStmt:
-		return db.rollback()
+		return db.autocommit(meta, func() (*Result, error) { return db.execDropTable(s) })
+	case *sqlparser.BeginStmt, *sqlparser.CommitStmt, *sqlparser.RollbackStmt:
+		return nil, fmt.Errorf("sqldb: transaction statements require a session")
 	case *sqlparser.PrincTypeStmt:
 		// Principal declarations are proxy metadata; the DBMS ignores
 		// them (they never reach a real server in CryptDB either).
@@ -249,6 +248,14 @@ func (db *DB) exec(st sqlparser.Statement, meta []byte, autonomous bool, params 
 func (db *DB) execDropTable(s *sqlparser.DropTableStmt) (*Result, error) {
 	if _, ok := db.tables[s.Name]; !ok {
 		return nil, fmt.Errorf("sqldb: no table %s", s.Name)
+	}
+	// Refuse while an open transaction has buffered writes against the
+	// table: its commit would otherwise apply to an orphaned Table and
+	// write redo records for a name replay cannot resolve.
+	for txn := range db.openTxns {
+		if tt := txn.tables[s.Name]; tt != nil && (len(tt.mods) > 0 || len(tt.ins) > 0) {
+			return nil, fmt.Errorf("sqldb: cannot drop %s: written by an open transaction", s.Name)
+		}
 	}
 	delete(db.tables, s.Name)
 	db.redoDropTable(s.Name)
@@ -298,20 +305,27 @@ func (e *DurabilityError) Error() string {
 // Unwrap exposes the underlying I/O error.
 func (e *DurabilityError) Unwrap() error { return e.Err }
 
-// durably runs one write statement with redo capture. On success the
-// captured ops are committed: appended to the transaction buffer when a
-// transaction is open (made durable at COMMIT, discarded at ROLLBACK), or
-// appended to the WAL immediately otherwise. Autonomous statements bypass
-// the transaction buffer — they are durable immediately even while a
-// client transaction is open, matching their in-memory semantics. On
-// error the capture is discarded: write statements are statement-atomic,
-// so an error means the in-memory state did not change — except for
+// autocommit runs one write statement under the database write lock with
+// redo capture, then commits the captured ops to the WAL *after* releasing
+// the lock: the batch is staged into the current group-commit cohort while
+// the lock is still held (so the log stays in dependency order) and the
+// fsync is paid off-lock, shared with every concurrent committer. On error
+// the capture is discarded: write statements are statement-atomic, so an
+// error means the in-memory state did not change — except for
 // *DurabilityError, see above.
-func (db *DB) durably(meta []byte, autonomous bool, fn func() (*Result, error)) (*Result, error) {
+func (db *DB) autocommit(meta []byte, fn func() (*Result, error)) (*Result, error) {
+	if db.wal != nil {
+		// Announce before taking the lock, so a flushing leader knows to
+		// hold its cohort open for this statement's frame.
+		db.wal.announce()
+		defer db.wal.retire()
+	}
+	db.mu.Lock()
 	db.stmtBuf = db.stmtBuf[:0]
 	res, err := fn()
 	if err != nil {
 		db.stmtBuf = db.stmtBuf[:0]
+		db.mu.Unlock()
 		return res, err
 	}
 	if db.wal == nil {
@@ -319,42 +333,30 @@ func (db *DB) durably(meta []byte, autonomous bool, fn func() (*Result, error)) 
 			db.meta = append([]byte(nil), meta...)
 		}
 		db.stmtBuf = db.stmtBuf[:0]
+		db.mu.Unlock()
 		return res, nil
 	}
 	if meta != nil {
 		db.stmtBuf = appendMetaOp(db.stmtBuf, meta)
 	}
 	if len(db.stmtBuf) == 0 {
-		return res, nil
-	}
-	if db.inTxn && !autonomous {
-		db.txnBuf = append(db.txnBuf, db.stmtBuf...)
-		if meta != nil {
-			db.txnMeta = append([]byte(nil), meta...)
-		}
-		db.stmtBuf = db.stmtBuf[:0]
+		db.mu.Unlock()
 		return res, nil
 	}
 	db.walSeq++
-	if err := db.wal.appendBatch(db.walSeq, db.stmtBuf); err != nil {
-		// The in-memory state already applied; surface the durability
-		// failure to the caller rather than pretending the write is safe.
-		db.stmtBuf = db.stmtBuf[:0]
-		return res, &DurabilityError{Err: err}
-	}
+	cohort := db.wal.enqueue(db.walSeq, db.stmtBuf)
+	db.stmtBuf = db.stmtBuf[:0]
 	if meta != nil {
 		db.meta = append([]byte(nil), meta...)
 	}
-	db.stmtBuf = db.stmtBuf[:0]
-	// Skip auto-checkpoints inside a transaction and on autonomous
-	// statements (execAutonomous masks inTxn, so a client transaction may
-	// still be open — snapshotting would capture uncommitted rows).
-	if !db.inTxn && !autonomous {
-		if err := db.maybeAutoCheckpointLocked(); err != nil {
-			return res, err
-		}
+	db.mu.Unlock()
+
+	if err := db.wal.waitFlush(cohort); err != nil {
+		// The in-memory state already applied; surface the durability
+		// failure to the caller rather than pretending the write is safe.
+		return res, &DurabilityError{Err: err}
 	}
-	return res, nil
+	return res, db.maybeAutoCheckpoint()
 }
 
 // Redo-capture helpers, called from the exec layer after each in-memory
@@ -471,16 +473,17 @@ func (db *DB) execCreateIndex(s *sqlparser.CreateIndexStmt) (*Result, error) {
 }
 
 //
-// Transactions: a single-writer undo-log design. BEGIN acquires the
-// transaction mutex so concurrent transactions serialize, mirroring the
-// paper's use of per-column-adjustment transactions (§3.2).
+// Transactions are per-session (see session.go): sessions buffer their
+// writes privately and commit atomically under a short critical section,
+// with first-writer-wins conflict detection on row slots. The helpers
+// below preserve the seed's DB-level API.
 //
 
-// InTxn reports whether a transaction is currently open.
+// InTxn reports whether any session currently holds an open transaction.
 func (db *DB) InTxn() bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.inTxn
+	return len(db.openTxns) > 0
 }
 
 // ExecAutonomous executes a write statement outside any open transaction,
@@ -488,9 +491,12 @@ func (db *DB) InTxn() bool {
 // proxy uses this for onion adjustments and resyncs: those server-side
 // rewrites reflect proxy metadata transitions and must survive a client
 // ROLLBACK. The statement still executes atomically under the database
-// lock.
+// lock; if it touches a row slot owned by an open transaction it fails
+// with a WriteConflictError rather than waiting (first writer wins, and
+// blocking here could deadlock against the transaction's own next
+// statement).
 func (db *DB) ExecAutonomous(st sqlparser.Statement, params ...Value) (*Result, error) {
-	return db.execAutonomous(st, nil, params)
+	return db.execStateless(st, nil, params)
 }
 
 // ExecAutonomousWithMeta combines ExecAutonomous and ExecWithMeta: the
@@ -498,121 +504,5 @@ func (db *DB) ExecAutonomous(st sqlparser.Statement, params ...Value) (*Result, 
 // commits durably in the same WAL batch. The proxy's onion adjustments use
 // this so a layer transition and the metadata recording it are atomic.
 func (db *DB) ExecAutonomousWithMeta(st sqlparser.Statement, meta []byte, params ...Value) (*Result, error) {
-	return db.execAutonomous(st, meta, params)
-}
-
-func (db *DB) execAutonomous(st sqlparser.Statement, meta []byte, params []Value) (*Result, error) {
-	switch s := st.(type) {
-	case *sqlparser.InsertStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		saved := db.inTxn
-		db.inTxn = false
-		defer func() { db.inTxn = saved }()
-		return db.durably(meta, true, func() (*Result, error) { return db.execInsert(s, params) })
-	case *sqlparser.UpdateStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		saved := db.inTxn
-		db.inTxn = false
-		defer func() { db.inTxn = saved }()
-		return db.durably(meta, true, func() (*Result, error) { return db.execUpdate(s, params) })
-	case *sqlparser.DeleteStmt:
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		saved := db.inTxn
-		db.inTxn = false
-		defer func() { db.inTxn = saved }()
-		return db.durably(meta, true, func() (*Result, error) { return db.execDelete(s, params) })
-	}
-	return db.exec(st, meta, true, params)
-}
-
-func (db *DB) begin() (*Result, error) {
-	db.txnMu.Lock()
-	db.mu.Lock()
-	db.inTxn = true
-	db.undo = db.undo[:0]
-	db.txnBuf = db.txnBuf[:0]
-	db.txnMeta = nil
-	db.mu.Unlock()
-	return &Result{}, nil
-}
-
-func (db *DB) commit() (*Result, error) {
-	db.mu.Lock()
-	if !db.inTxn {
-		db.mu.Unlock()
-		return nil, fmt.Errorf("sqldb: COMMIT outside a transaction")
-	}
-	db.inTxn = false
-	db.undo = nil
-	// The transaction's redo records become durable as one atomic batch:
-	// a crash replays all of its statements or none of them.
-	var err error
-	if db.wal != nil && len(db.txnBuf) > 0 {
-		db.walSeq++
-		if werr := db.wal.appendBatch(db.walSeq, db.txnBuf); werr != nil {
-			err = &DurabilityError{Err: werr}
-		} else {
-			if db.txnMeta != nil {
-				db.meta = db.txnMeta
-			}
-			err = db.maybeAutoCheckpointLocked()
-		}
-	}
-	db.txnBuf = db.txnBuf[:0]
-	db.txnMeta = nil
-	db.mu.Unlock()
-	db.txnMu.Unlock()
-	return &Result{}, err
-}
-
-func (db *DB) rollback() (*Result, error) {
-	db.mu.Lock()
-	if !db.inTxn {
-		db.mu.Unlock()
-		return nil, fmt.Errorf("sqldb: ROLLBACK outside a transaction")
-	}
-	// Apply undo records in reverse order.
-	for i := len(db.undo) - 1; i >= 0; i-- {
-		op := db.undo[i]
-		switch op.kind {
-		case 0: // undo insert
-			op.table.deleteRow(op.slot)
-		case 1: // undo delete
-			if _, err := op.table.insertRow(op.row); err != nil {
-				db.mu.Unlock()
-				db.txnMu.Unlock()
-				return nil, fmt.Errorf("sqldb: rollback reinsert: %w", err)
-			}
-		case 2: // undo cell update (unchecked: the old value was valid)
-			op.table.updateCellUnchecked(op.slot, op.pos, op.old)
-		}
-	}
-	db.inTxn = false
-	db.undo = nil
-	db.txnBuf = db.txnBuf[:0] // discard the transaction's redo records
-	db.txnMeta = nil
-	db.mu.Unlock()
-	db.txnMu.Unlock()
-	return &Result{}, nil
-}
-
-func (db *DB) logInsert(t *Table, slot int) {
-	if db.inTxn {
-		db.undo = append(db.undo, undoOp{kind: 0, table: t, slot: slot})
-	}
-}
-
-func (db *DB) logDelete(t *Table, row []Value) {
-	if db.inTxn {
-		db.undo = append(db.undo, undoOp{kind: 1, table: t, row: row})
-	}
-}
-
-func (db *DB) logUpdate(t *Table, slot, pos int, old Value) {
-	if db.inTxn {
-		db.undo = append(db.undo, undoOp{kind: 2, table: t, slot: slot, pos: pos, old: old})
-	}
+	return db.execStateless(st, meta, params)
 }

@@ -24,6 +24,30 @@ type Table struct {
 	indexes    map[string]*hashIndex // column name -> equality index
 	ordIndexes map[string]*ordIndex  // column name -> ordered index
 	live       int
+
+	// lockOwner maps a row slot to the open transaction that first wrote
+	// it (first writer wins; see session.go). Guarded by the database
+	// write lock; nil until a transaction touches the table.
+	lockOwner map[int]*Txn
+}
+
+// lockSlot records txn as the owner of slot. Callers hold the database
+// write lock and have already established the slot is free or theirs.
+func (t *Table) lockSlot(slot int, txn *Txn) {
+	if t.lockOwner == nil {
+		t.lockOwner = make(map[int]*Txn)
+	}
+	t.lockOwner[slot] = txn
+}
+
+// slotOwner returns the transaction owning slot, or nil.
+func (t *Table) slotOwner(slot int) *Txn { return t.lockOwner[slot] }
+
+// unlockSlot releases slot if txn owns it.
+func (t *Table) unlockSlot(slot int, txn *Txn) {
+	if t.lockOwner[slot] == txn {
+		delete(t.lockOwner, slot)
+	}
 }
 
 type hashIndex struct {

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -106,26 +107,40 @@ func TestEvalConstAndExpr(t *testing.T) {
 func TestExecAutonomousSurvivesRollback(t *testing.T) {
 	db := New()
 	mustExec(t, db, "CREATE TABLE t (a INT)")
+	mustExec(t, db, "CREATE TABLE u (b INT)")
 	mustExec(t, db, "INSERT INTO t (a) VALUES (1)")
+	mustExec(t, db, "INSERT INTO u (b) VALUES (10)")
 	mustExec(t, db, "BEGIN")
-	mustExec(t, db, "UPDATE t SET a = 100") // in-txn
+	mustExec(t, db, "UPDATE t SET a = 100") // in-txn: buffers and locks t's row
+
+	// An autonomous statement on a row the open transaction wrote must
+	// fail fast with a write conflict (first writer wins) instead of
+	// interleaving with the buffered write.
 	st, err := sqlparser.Parse("UPDATE t SET a = a + 1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.ExecAutonomous(st); err != nil { // autonomous
+	var wc *WriteConflictError
+	if _, err := db.ExecAutonomous(st); !errors.As(err, &wc) {
+		t.Fatalf("autonomous update of a locked row: err = %v, want WriteConflictError", err)
+	}
+
+	// On an untouched table it proceeds — and survives the ROLLBACK.
+	st2, err := sqlparser.Parse("UPDATE u SET b = b + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecAutonomous(st2); err != nil {
 		t.Fatal(err)
 	}
 	mustExec(t, db, "ROLLBACK")
-	// The in-txn update rolled back (100 -> 1), but careful: the
-	// autonomous increment applied on top of 100 and is not undone, so
-	// the final value reflects undo of the logged cell only.
 	res := mustExec(t, db, "SELECT a FROM t")
 	if res.Rows[0][0].I != 1 {
-		// The undo log restored the pre-txn value 1 for the logged
-		// update; the autonomous update's effect on that cell is
-		// superseded. This is the documented semantics.
-		t.Fatalf("a = %v, want 1", res.Rows[0][0])
+		t.Fatalf("a = %v, want 1 (buffered update discarded)", res.Rows[0][0])
+	}
+	res = mustExec(t, db, "SELECT b FROM u")
+	if res.Rows[0][0].I != 11 {
+		t.Fatalf("b = %v, want 11 (autonomous update survives rollback)", res.Rows[0][0])
 	}
 }
 

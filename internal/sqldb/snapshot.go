@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"syscall"
 )
 
@@ -50,6 +51,11 @@ type DurabilityOptions struct {
 	// default (4 MiB); a negative value disables automatic checkpoints
 	// (Checkpoint can still be called explicitly).
 	CheckpointBytes int64
+
+	// NoGroupCommit disables WAL group commit: every committer pays its
+	// own write+fsync, serialized, as the seed did. Exists for the
+	// groupcommit benchmark ablation; leave it off in production.
+	NoGroupCommit bool
 }
 
 // WALStats reports durability-subsystem activity, for benchmarks and the
@@ -70,9 +76,9 @@ func (db *DB) WALStats() WALStats {
 		return WALStats{}
 	}
 	return WALStats{
-		Batches:     db.wal.batches,
-		Bytes:       db.wal.bytes,
-		Syncs:       db.wal.syncs,
+		Batches:     atomic.LoadInt64(&db.wal.batches),
+		Bytes:       atomic.LoadInt64(&db.wal.bytes),
+		Syncs:       atomic.LoadInt64(&db.wal.syncs),
 		Checkpoints: db.checkpoints,
 	}
 }
@@ -144,9 +150,9 @@ func Open(dir string, opts DurabilityOptions) (*DB, error) {
 			f.Close()
 			return nil, err
 		}
-		db.wal = &walWriter{f: f, path: walPath, size: goodOffset, fsync: !opts.NoFsync}
+		db.wal = newWALWriter(f, walPath, goodOffset, !opts.NoFsync, opts.NoGroupCommit)
 	} else {
-		w, err := createWAL(walPath, !opts.NoFsync)
+		w, err := createWAL(walPath, !opts.NoFsync, opts.NoGroupCommit)
 		if err != nil {
 			return nil, err
 		}
@@ -195,11 +201,12 @@ func (l *dirLock) release() {
 }
 
 // Checkpoint writes a snapshot of the current state and truncates the WAL,
-// bounding recovery time and disk usage. It waits for any open transaction
-// to finish. A no-op on an in-memory database.
+// bounding recovery time and disk usage. Open transactions do not block it:
+// their writes live in private buffers, so the shared tables always hold
+// exactly the committed state, and a commit racing the checkpoint is
+// ordered by the database lock — its batch carries a sequence number past
+// the snapshot's and replays on top. A no-op on an in-memory database.
 func (db *DB) Checkpoint() error {
-	db.txnMu.Lock()
-	defer db.txnMu.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal == nil {
@@ -208,8 +215,7 @@ func (db *DB) Checkpoint() error {
 	return db.checkpointLocked()
 }
 
-// checkpointLocked snapshots and truncates under an exclusive db.mu with no
-// transaction in progress (callers guarantee both).
+// checkpointLocked snapshots and truncates under an exclusive db.mu.
 func (db *DB) checkpointLocked() error {
 	if err := db.writeSnapshot(); err != nil {
 		return err
@@ -221,10 +227,10 @@ func (db *DB) checkpointLocked() error {
 	return nil
 }
 
-// maybeAutoCheckpointLocked runs a checkpoint when the WAL has outgrown the
-// configured threshold. Called after a commit with db.mu held exclusively
-// and no transaction open.
-func (db *DB) maybeAutoCheckpointLocked() error {
+// maybeAutoCheckpoint runs a checkpoint when the WAL has outgrown the
+// configured threshold. Called after a commit, without the database lock
+// (it takes the lock itself once the cheap size probe says it must).
+func (db *DB) maybeAutoCheckpoint() error {
 	if db.wal == nil || db.dopts.CheckpointBytes < 0 {
 		return nil
 	}
@@ -232,8 +238,13 @@ func (db *DB) maybeAutoCheckpointLocked() error {
 	if limit == 0 {
 		limit = defaultCheckpointBytes
 	}
-	if db.wal.size < limit {
+	if atomic.LoadInt64(&db.wal.size) < limit {
 		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if atomic.LoadInt64(&db.wal.size) < limit {
+		return nil // another committer checkpointed first
 	}
 	return db.checkpointLocked()
 }

@@ -39,12 +39,10 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, erro
 	// WAL exact: an errored statement logs no redo records, which is only
 	// correct if it also has no in-memory effect.
 	var inserted []int
-	undoMark := len(db.undo)
 	revert := func() {
 		for i := len(inserted) - 1; i >= 0; i-- {
 			t.deleteRow(inserted[i])
 		}
-		db.undo = db.undo[:undoMark] // drop the undo records of reverted rows
 	}
 	affected := 0
 	for _, exprRow := range s.Rows {
@@ -71,7 +69,6 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, erro
 			return nil, err
 		}
 		inserted = append(inserted, slot)
-		db.logInsert(t, slot)
 		db.redoInsert(t, slot, row)
 		affected++
 	}
@@ -98,6 +95,12 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, erro
 
 	slots, err := db.matchSlots(t, sc, s.Where, params)
 	if err != nil {
+		return nil, err
+	}
+	// First writer wins: an autocommit UPDATE may not touch a row slot an
+	// open transaction has buffered a write for. Checked before any
+	// mutation so the statement stays atomic.
+	if err := checkSlotsUnlocked(t, slots); err != nil {
 		return nil, err
 	}
 
@@ -141,7 +144,6 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, erro
 				revert()
 				return nil, err
 			}
-			db.logUpdate(t, slot, pos, old)
 			db.redoUpdate(t, slot, pos, newVals[i])
 			applied = append(applied, appliedCell{slot: slot, pos: pos, old: old})
 		}
@@ -162,16 +164,32 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	if err := checkSlotsUnlocked(t, slots); err != nil {
+		return nil, err
+	}
 	affected := 0
 	for _, slot := range slots {
 		row := t.deleteRow(slot)
 		if row != nil {
-			db.logDelete(t, row)
 			db.redoDelete(t, slot)
 			affected++
 		}
 	}
 	return &Result{Affected: affected}, nil
+}
+
+// checkSlotsUnlocked fails with a WriteConflictError if any slot is owned
+// by an open transaction. Callers hold db.mu exclusively.
+func checkSlotsUnlocked(t *Table, slots []int) error {
+	if len(t.lockOwner) == 0 {
+		return nil
+	}
+	for _, slot := range slots {
+		if t.lockOwner[slot] != nil {
+			return &WriteConflictError{Table: t.Name, Slot: slot}
+		}
+	}
+	return nil
 }
 
 // matchSlots returns the slots of rows matching where, planned through the
