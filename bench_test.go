@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -22,6 +23,9 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/sqldb"
 	"repro/internal/sqlparser"
+	"repro/internal/store"
+	"repro/internal/store/sharded"
+	"repro/internal/store/single"
 	"repro/internal/strawman"
 	"repro/internal/workload"
 	"repro/internal/workload/forum"
@@ -783,4 +787,81 @@ func BenchmarkASTCache(b *testing.B) {
 	}
 	b.Run("cached", arm(0))
 	b.Run("uncached", arm(-1))
+}
+
+//
+// Sharded store write scaling (the shardscale figure): single-statement
+// write throughput at 1/2/4/8 shards, 16 concurrent sessions, fsync off so
+// the statement-lock split (not fsync amortization vs. cohort
+// fragmentation — the shardscale figure shows both arms) is what scales.
+// Rows route by primary-key hash, so each shard runs its own statement
+// lock and WAL; throughput should rise with the shard count past the
+// single-store 16-session ceiling given cores to run the shards on, and
+// the 1-shard arm must not regress against store/single.
+//
+
+// BenchmarkShardedWriters measures routed single-row INSERT throughput.
+func BenchmarkShardedWriters(b *testing.B) {
+	const sessions = 16
+	run := func(b *testing.B, open func(b *testing.B) store.Engine) {
+		eng := open(b)
+		defer eng.Close()
+		if _, err := eng.ExecSQL("CREATE TABLE t (id INT PRIMARY KEY, payload TEXT)"); err != nil {
+			b.Fatal(err)
+		}
+		st, err := sqlparser.Parse("INSERT INTO t (id, payload) VALUES (?, ?)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		payload := strings.Repeat("x", 64)
+		var next int64
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		errCh := make(chan error, sessions)
+		for g := 0; g < sessions; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn := eng.NewConn()
+				defer conn.Close()
+				for {
+					i := atomic.AddInt64(&next, 1)
+					if i > int64(b.N) {
+						return
+					}
+					if _, err := conn.Exec(st, sqldb.Int(i), sqldb.Text(payload)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(errCh)
+		for err := range errCh {
+			b.Fatal(err)
+		}
+	}
+	b.Run("single", func(b *testing.B) {
+		run(b, func(b *testing.B) store.Engine {
+			eng, err := single.Open(b.TempDir(), sqldb.DurabilityOptions{CheckpointBytes: -1, NoFsync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return eng
+		})
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			n := shards
+			run(b, func(b *testing.B) store.Engine {
+				eng, err := sharded.Open(b.TempDir(), n, sqldb.DurabilityOptions{CheckpointBytes: -1, NoFsync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return eng
+			})
+		})
+	}
 }

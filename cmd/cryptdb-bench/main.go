@@ -17,6 +17,7 @@
 //	cryptdb-bench -fig rangescan ordered OPE indexes vs full scans (§3.3)
 //	cryptdb-bench -fig durability WAL/snapshot write-path overhead & recovery
 //	cryptdb-bench -fig groupcommit concurrent sessions + WAL group commit
+//	cryptdb-bench -fig shardscale sharded store write scaling (1/2/4/8 shards)
 //	cryptdb-bench -fig all      everything
 package main
 
@@ -43,12 +44,13 @@ var figures = map[string]func() error{
 	"rangescan":   figRangeScan,
 	"durability":  figDurability,
 	"groupcommit": figGroupCommit,
+	"shardscale":  figShardScale,
 }
 
-var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit"}
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit", "shardscale"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, durability, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, durability, groupcommit, shardscale, all)")
 	flag.Parse()
 
 	if *fig == "all" {

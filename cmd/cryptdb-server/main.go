@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	cryptdb-server [-addr :7432] [-multi] [-data-dir DIR]
+//	cryptdb-server [-addr :7432] [-multi] [-data-dir DIR] [-shards N]
 //	               [-wal-nofsync] [-checkpoint-mb N] [-max-sessions N]
 //
 // Each TCP connection gets its own proxy session: BEGIN/COMMIT/ROLLBACK
@@ -35,6 +35,14 @@
 // closes, in-flight statements finish and their responses flush, then the
 // WAL syncs and the process exits.
 //
+// With -shards N the store is hash-partitioned across N embedded DBMS
+// instances, each with its own WAL and group-commit stream (under
+// DIR/shard-000/ ... when durable): rows are placed by hash of the hidden
+// row id, reads scatter-gather, and write throughput scales with the shard
+// count. The shard count of a durable directory is fixed at creation
+// (recorded in DIR/sharded.json); reopening with a different -shards fails
+// rather than misroute rows.
+//
 // Try it:
 //
 //	printf 'CREATE TABLE t (a INT, b TEXT)\nINSERT INTO t (a, b) VALUES (1, %s)\nSELECT * FROM t\n' "'x'" | nc localhost 7432
@@ -49,6 +57,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -57,6 +66,9 @@ import (
 	"repro/internal/mp"
 	"repro/internal/proxy"
 	"repro/internal/sqldb"
+	"repro/internal/store"
+	"repro/internal/store/sharded"
+	"repro/internal/store/single"
 	"repro/internal/workload"
 )
 
@@ -68,6 +80,7 @@ func main() {
 	addr := flag.String("addr", ":7432", "listen address")
 	multi := flag.Bool("multi", false, "enable multi-principal mode (§4)")
 	dataDir := flag.String("data-dir", "", "directory for durable state (WAL, snapshots, proxy keys); empty runs in-memory")
+	shards := flag.Int("shards", 1, "number of store shards (hash-partitioned by hidden row id); a durable directory fixes the count at creation")
 	noFsync := flag.Bool("wal-nofsync", false, "skip fsync after each commit (faster; a machine crash may lose recent commits)")
 	checkpointMB := flag.Int64("checkpoint-mb", 4, "WAL size in MiB that triggers an automatic snapshot; 0 disables")
 	maxSessions := flag.Int("max-sessions", 0, "maximum concurrent client sessions; 0 = unlimited")
@@ -77,6 +90,7 @@ func main() {
 		addr:         *addr,
 		multi:        *multi,
 		dataDir:      *dataDir,
+		shards:       *shards,
 		noFsync:      *noFsync,
 		checkpointMB: *checkpointMB,
 		maxSessions:  *maxSessions,
@@ -87,6 +101,9 @@ func main() {
 	mode := "in-memory"
 	if *dataDir != "" {
 		mode = "durable, data-dir=" + *dataDir
+	}
+	if n := srv.eng.Shards(); n > 1 {
+		mode += fmt.Sprintf(", %d shards", n)
 	}
 	log.Printf("cryptdb-server listening on %s (multi-principal: %v, %s)", srv.ln.Addr(), *multi, mode)
 
@@ -108,6 +125,7 @@ type config struct {
 	addr         string
 	multi        bool
 	dataDir      string
+	shards       int
 	noFsync      bool
 	checkpointMB int64
 	maxSessions  int
@@ -119,11 +137,11 @@ type config struct {
 // mp.Session sharing the manager's global login state in -multi mode), so
 // transaction scope follows the connection.
 type server struct {
-	ln net.Listener
-	ex workload.Executor
-	px *proxy.Proxy // nil in multi-principal mode
-	mp *mp.Manager  // nil in single-principal mode
-	db *sqldb.DB
+	ln  net.Listener
+	ex  workload.Executor
+	px  *proxy.Proxy // nil in multi-principal mode
+	mp  *mp.Manager  // nil in single-principal mode
+	eng store.Engine
 
 	maxSessions int
 
@@ -135,26 +153,13 @@ type server struct {
 }
 
 func newServer(cfg config) (*server, error) {
-	var db *sqldb.DB
-	var err error
-	if cfg.dataDir != "" {
-		cb := cfg.checkpointMB << 20
-		if cb == 0 {
-			cb = -1 // flag semantics: 0 disables auto-checkpoints
-		}
-		db, err = sqldb.Open(cfg.dataDir, sqldb.DurabilityOptions{
-			NoFsync:         cfg.noFsync,
-			CheckpointBytes: cb,
-		})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		db = sqldb.New()
-	}
-	p, err := proxy.New(db, proxy.Options{DataDir: cfg.dataDir})
+	eng, err := openEngine(cfg)
 	if err != nil {
-		db.Close()
+		return nil, err
+	}
+	p, err := proxy.NewOnEngine(eng, proxy.Options{DataDir: cfg.dataDir})
+	if err != nil {
+		eng.Close()
 		return nil, err
 	}
 	var ex workload.Executor = p
@@ -167,7 +172,7 @@ func newServer(cfg config) (*server, error) {
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
-		db.Close()
+		eng.Close()
 		return nil, err
 	}
 	return &server{
@@ -175,11 +180,52 @@ func newServer(cfg config) (*server, error) {
 		ex:          ex,
 		px:          px,
 		mp:          mpm,
-		db:          db,
+		eng:         eng,
 		maxSessions: cfg.maxSessions,
 		conns:       make(map[net.Conn]struct{}),
 		done:        make(chan struct{}),
 	}, nil
+}
+
+// openEngine builds the storage engine the configuration asks for: one
+// embedded sqldb (in-memory or durable), or a hash-partitioned sharded
+// store. An existing data directory's layout wins over the flags: a
+// sharded directory reopened without -shards comes back sharded (its
+// manifest pins the count), and a single-store directory cannot be
+// reinterpreted as sharded — either mistake would silently serve an
+// empty database.
+func openEngine(cfg config) (store.Engine, error) {
+	cb := cfg.checkpointMB << 20
+	if cb == 0 {
+		cb = -1 // flag semantics: 0 disables auto-checkpoints
+	}
+	dopts := sqldb.DurabilityOptions{NoFsync: cfg.noFsync, CheckpointBytes: cb}
+	if cfg.dataDir != "" {
+		manifestShards, isSharded := sharded.DirShards(cfg.dataDir)
+		if isSharded {
+			if cfg.shards > 1 && manifestShards > 0 && cfg.shards != manifestShards {
+				return nil, fmt.Errorf("data dir %s has %d shards, -shards=%d", cfg.dataDir, manifestShards, cfg.shards)
+			}
+			n := cfg.shards
+			if n <= 1 {
+				n = 0 // accept the manifest's count
+			}
+			// An unreadable manifest (manifestShards == 0) falls through to
+			// Open, which fails loudly rather than serving an empty store.
+			return sharded.Open(cfg.dataDir, n, dopts)
+		}
+		if cfg.shards > 1 {
+			if _, err := os.Stat(filepath.Join(cfg.dataDir, "wal.log")); err == nil {
+				return nil, fmt.Errorf("data dir %s holds a single (unsharded) store; it cannot be reopened with -shards %d", cfg.dataDir, cfg.shards)
+			}
+			return sharded.Open(cfg.dataDir, cfg.shards, dopts)
+		}
+		return single.Open(cfg.dataDir, dopts)
+	}
+	if cfg.shards > 1 {
+		return sharded.New(cfg.shards), nil
+	}
+	return single.New(sqldb.New()), nil
 }
 
 // run accepts connections until shutdown, then drains and flushes.
@@ -242,9 +288,15 @@ func (s *server) run() error {
 		<-drained
 	}
 
+	// Report engine-wide work before closing: counters sum across every
+	// shard (reading shard 0 alone would under-report).
+	st := s.eng.Stats()
+	log.Printf("cryptdb-server: store stats: shards=%d wal-batches=%d wal-syncs=%d checkpoints=%d size=%dB busy=%dms",
+		st.Shards, st.WAL.Batches, st.WAL.Syncs, st.WAL.Checkpoints, st.SizeBytes, st.BusyNanos/1e6)
+
 	// Flush durable state last: after this returns, everything committed
 	// is on disk.
-	err := s.db.Close()
+	err := s.eng.Close()
 	close(s.done)
 	return err
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/proxy"
 	"repro/internal/sqldb"
+	"repro/internal/store/sharded"
 )
 
 // TestServeEndToEnd drives the line protocol over a real TCP connection.
@@ -519,5 +520,138 @@ func TestMultiModeDisconnectMidTxn(t *testing.T) {
 	got := sendLine(t, c0, r0, "SELECT COUNT(*) FROM t")
 	if len(got) != 2 || got[0] != "ROW 1" {
 		t.Fatalf("ghost insert leaked or commit lost: %v", got)
+	}
+}
+
+// TestShardedServerEndToEnd runs the server over a durable 3-shard store:
+// statements spread across shards behind the proxy, per-connection
+// transactions stay single-shard, and a restart recovers every shard.
+func TestShardedServerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := newServer(config{addr: "127.0.0.1:0", dataDir: dir, shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.run() }()
+
+	conn, err := net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	sendLine(t, conn, r, "CREATE TABLE t (k TEXT, n INT)")
+	for i := 1; i <= 12; i++ {
+		sendLine(t, conn, r, fmt.Sprintf("INSERT INTO t (k, n) VALUES ('k%02d', %d)", i, i))
+	}
+	sendLine(t, conn, r, "BEGIN")
+	sendLine(t, conn, r, "INSERT INTO t (k, n) VALUES ('txn', 99)")
+	sendLine(t, conn, r, "ROLLBACK")
+	lines := sendLine(t, conn, r, "SELECT n FROM t WHERE n >= 5 AND n <= 8")
+	if len(lines) != 5 { // 4 ROW + OK
+		t.Fatalf("range query over shards returned %v", lines)
+	}
+	lines = sendLine(t, conn, r, "SELECT COUNT(*) FROM t")
+	if len(lines) != 2 || lines[0] != "ROW 12" {
+		t.Fatalf("COUNT over shards returned %v", lines)
+	}
+
+	srv.shutdown()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run returned %v", err)
+	}
+
+	// Restart: the engine must reopen all three shards and the proxy must
+	// recover its onion levels.
+	eng, err := sharded.Open(dir, 0, sqldb.DurabilityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if eng.Shards() != 3 {
+		t.Fatalf("reopened with %d shards", eng.Shards())
+	}
+	p, err := proxy.NewOnEngine(eng, proxy.Options{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 12 {
+		t.Fatalf("recovered COUNT = %v, want 12", res.Rows)
+	}
+}
+
+// TestShardedDirLayoutWinsOverFlags: a sharded data directory reopened
+// without -shards must come back sharded (the manifest pins the count);
+// an explicit mismatching -shards must fail; and a single-store directory
+// must refuse -shards entirely. Any of these mistakes would otherwise
+// silently serve an empty database.
+func TestShardedDirLayoutWinsOverFlags(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := newServer(config{addr: "127.0.0.1:0", dataDir: dir, shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.run() }()
+	conn, err := net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	sendLine(t, conn, r, "CREATE TABLE t (a INT)")
+	sendLine(t, conn, r, "INSERT INTO t (a) VALUES (7)")
+	conn.Close()
+	srv.shutdown()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with the flag defaults (shards: 1): manifest must win.
+	srv, err = newServer(config{addr: "127.0.0.1:0", dataDir: dir, shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.eng.Shards(); got != 3 {
+		t.Fatalf("reopened with %d shards, manifest says 3", got)
+	}
+	go func() { runErr <- srv.run() }()
+	conn, err = net.Dial("tcp", srv.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = bufio.NewReader(conn)
+	lines := sendLine(t, conn, r, "SELECT a FROM t")
+	if len(lines) != 2 || lines[0] != "ROW 7" {
+		t.Fatalf("data lost across flagless reopen: %v", lines)
+	}
+	conn.Close()
+	srv.shutdown()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit mismatching count: refuse.
+	if _, err := newServer(config{addr: "127.0.0.1:0", dataDir: dir, shards: 2}); err == nil {
+		t.Fatal("mismatching -shards accepted")
+	}
+
+	// A single-store directory cannot be reinterpreted as sharded.
+	sdir := t.TempDir()
+	srv, err = newServer(config{addr: "127.0.0.1:0", dataDir: sdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { runErr <- srv.run() }()
+	srv.shutdown()
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newServer(config{addr: "127.0.0.1:0", dataDir: sdir, shards: 4}); err == nil {
+		t.Fatal("single-store dir accepted -shards 4")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/sqldb"
 	"repro/internal/sqlparser"
+	"repro/internal/store"
 )
 
 // RSABits sizes principal RSA key pairs; tests may shrink it via Options.
@@ -40,7 +41,7 @@ type Manager struct {
 	mu sync.Mutex
 
 	p    *proxy.Proxy
-	db   *sqldb.DB
+	db   store.Engine
 	opts Options
 
 	princTypes map[string]bool // declared types
@@ -84,7 +85,7 @@ func New(p *proxy.Proxy, opts Options) *Manager {
 	}
 	m := &Manager{
 		p:          p,
-		db:         p.DB(),
+		db:         p.Engine(),
 		opts:       opts,
 		princTypes: make(map[string]bool),
 		external:   make(map[string]bool),

@@ -238,7 +238,13 @@ func (p *Proxy) DeclareOPEJoin(table1, col1, table2, col2 string) error {
 	if err != nil {
 		return err
 	}
-	if p.db.Table(c1.Table.Anon).RowCount() > 0 || p.db.Table(c2.Table.Anon).RowCount() > 0 {
+	rows := func(anon string) int {
+		if ti := p.db.Table(anon); ti != nil {
+			return ti.RowCount()
+		}
+		return 0
+	}
+	if rows(c1.Table.Anon) > 0 || rows(c2.Table.Anon) > 0 {
 		return fmt.Errorf("proxy: OPE-JOIN must be declared before data is inserted")
 	}
 	label := "opejoin:" + table1 + "." + col1 + ":" + table2 + "." + col2

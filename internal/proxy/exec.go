@@ -883,8 +883,19 @@ func (sess *Session) execTwoQueryUpdate(s *sqlparser.UpdateStmt, tm *TableMeta, 
 	// wrap the per-row writes in one, so a mid-loop failure (write
 	// conflict, encryption error) rolls back the rows already written
 	// instead of leaving a partially applied UPDATE. Inside a client
-	// transaction the rows buffer into it as before.
-	ownTxn := !sess.db.InTxn()
+	// transaction the rows buffer into it as before. Over a sharded
+	// engine the matched rows live on different shards and a transaction
+	// cannot span them: outside a client transaction the per-row UPDATEs
+	// autocommit individually (each row's rid-targeted write routes to a
+	// single shard and is atomic there; the statement loses only mid-loop
+	// atomicity), but *inside* a client transaction a multi-row rewrite
+	// must be refused up front — otherwise rows routing to the pinned
+	// shard would buffer, a later row routing elsewhere would error, and
+	// the client's COMMIT would persist a half-applied UPDATE.
+	if sess.db.InTxn() && p.db.Shards() > 1 && len(res.Rows) > 1 {
+		return nil, fmt.Errorf("proxy: UPDATE matches %d rows inside a transaction over a sharded store; transactions are single-shard — run it outside the transaction or target one row", len(res.Rows))
+	}
+	ownTxn := !sess.db.InTxn() && p.db.Shards() == 1
 	if ownTxn {
 		if _, err := sess.db.Exec(&sqlparser.BeginStmt{}); err != nil {
 			return nil, err

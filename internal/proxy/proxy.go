@@ -13,6 +13,8 @@ import (
 	"repro/internal/crypto/search"
 	"repro/internal/onion"
 	"repro/internal/sqldb"
+	"repro/internal/store"
+	"repro/internal/store/single"
 )
 
 // Options configures a Proxy.
@@ -92,14 +94,16 @@ type Stats struct {
 	ASTCacheMisses   int64
 }
 
-// Proxy is a single-principal CryptDB proxy bound to one DBMS. Queries that
-// require no onion adjustment (the trained steady state) run under a read
-// lock and execute concurrently; adjustments serialize under the write
-// lock.
+// Proxy is a single-principal CryptDB proxy bound to one storage engine —
+// a single embedded DBMS (store/single) or a hash-partitioned set of them
+// (store/sharded); the proxy speaks only the store.Engine/Conn surface
+// either way. Queries that require no onion adjustment (the trained steady
+// state) run under a read lock and execute concurrently; adjustments
+// serialize under the write lock.
 type Proxy struct {
 	mu sync.RWMutex
 
-	db *sqldb.DB
+	db store.Engine
 	mk *keys.Master
 
 	tables map[string]*TableMeta
@@ -141,26 +145,39 @@ type TrainEvent struct {
 	Warning       string // non-empty for unsupported queries
 }
 
-// New creates a proxy in front of db. Without Options.DataDir it uses a
-// fresh master key and lives only as long as the process. With DataDir it
-// is durable: key material is loaded (or generated once) from the key
-// file, and table/column/onion metadata recovered through the DBMS is
-// restored, so a restarted proxy decrypts everything its predecessor
+// New creates a proxy in front of one embedded database — the seed's
+// topology, wrapped in a store/single engine. Without Options.DataDir it
+// uses a fresh master key and lives only as long as the process. With
+// DataDir it is durable: key material is loaded (or generated once) from
+// the key file, and table/column/onion metadata recovered through the DBMS
+// is restored, so a restarted proxy decrypts everything its predecessor
 // stored and remembers every onion adjustment it made.
 func New(db *sqldb.DB, opts Options) (*Proxy, error) {
+	return NewOnEngine(single.New(db), opts)
+}
+
+// NewOnEngine creates a proxy over any storage engine (store/single,
+// store/sharded, or a future backend adapter). Semantics of Options.DataDir
+// match New; the engine's own durability is configured when the engine is
+// opened.
+func NewOnEngine(eng store.Engine, opts Options) (*Proxy, error) {
 	if opts.DataDir == "" {
 		mk, err := keys.NewMaster()
 		if err != nil {
 			return nil, err
 		}
-		return NewWithMaster(db, mk, opts)
+		return newWithMaster(eng, mk, opts)
 	}
-	return openPersistent(db, opts)
+	return openPersistent(eng, opts)
 }
 
 // NewWithMaster creates an in-memory proxy with explicit master key
 // material (multi-principal mode derives sub-proxies this way).
 func NewWithMaster(db *sqldb.DB, mk *keys.Master, opts Options) (*Proxy, error) {
+	return newWithMaster(single.New(db), mk, opts)
+}
+
+func newWithMaster(eng store.Engine, mk *keys.Master, opts Options) (*Proxy, error) {
 	if opts.HOMBits == 0 {
 		opts.HOMBits = hom.DefaultBits
 	}
@@ -168,11 +185,11 @@ func NewWithMaster(db *sqldb.DB, mk *keys.Master, opts Options) (*Proxy, error) 
 	if err != nil {
 		return nil, fmt.Errorf("proxy: %w", err)
 	}
-	return newProxy(db, mk, hk, opts)
+	return newProxy(eng, mk, hk, opts)
 }
 
 // openPersistent builds a durable proxy from (or initializing) a data dir.
-func openPersistent(db *sqldb.DB, opts Options) (*Proxy, error) {
+func openPersistent(db store.Engine, opts Options) (*Proxy, error) {
 	dir := opts.DataDir
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("proxy: creating data dir: %w", err)
@@ -236,7 +253,7 @@ func openPersistent(db *sqldb.DB, opts Options) (*Proxy, error) {
 }
 
 // newProxy assembles a proxy around existing key material.
-func newProxy(db *sqldb.DB, mk *keys.Master, hk *hom.Key, opts Options) (*Proxy, error) {
+func newProxy(db store.Engine, mk *keys.Master, hk *hom.Key, opts Options) (*Proxy, error) {
 	if opts.HOMPrecompute > 0 {
 		if err := hk.Precompute(opts.HOMPrecompute); err != nil {
 			return nil, fmt.Errorf("proxy: %w", err)
@@ -262,9 +279,19 @@ func newProxy(db *sqldb.DB, mk *keys.Master, hk *hom.Key, opts Options) (*Proxy,
 	return p, nil
 }
 
-// DB exposes the underlying DBMS (the evaluation harness and tests inspect
-// server-visible state through it).
-func (p *Proxy) DB() *sqldb.DB { return p.db }
+// Engine exposes the storage engine the proxy speaks to.
+func (p *Proxy) Engine() store.Engine { return p.db }
+
+// DB exposes the underlying embedded DBMS when the proxy runs over a
+// single-instance engine (the evaluation harness and tests inspect
+// server-visible state through it). Returns nil over a sharded engine —
+// use Engine and its introspection instead.
+func (p *Proxy) DB() *sqldb.DB {
+	if u, ok := p.db.(interface{ DB() *sqldb.DB }); ok {
+		return u.DB()
+	}
+	return nil
+}
 
 // HOMKey exposes the Paillier key (package mp and benchmarks need the
 // public part).

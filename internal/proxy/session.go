@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/sqldb"
 	"repro/internal/sqlparser"
+	"repro/internal/store"
 )
 
 // Session is one client's execution context on the proxy. Create with
@@ -25,7 +26,7 @@ import (
 // row locks behind). The zero value is not usable.
 type Session struct {
 	p  *Proxy
-	db *sqldb.Session
+	db store.Conn
 
 	// tmu guards touched: the logical tables this session's open
 	// transaction has written. Onion adjustments consult it (under the
@@ -38,7 +39,7 @@ type Session struct {
 // NewSession opens an independent session. The session satisfies
 // workload.Executor.
 func (p *Proxy) NewSession() *Session {
-	s := &Session{p: p, db: p.db.NewSession(), touched: make(map[string]bool)}
+	s := &Session{p: p, db: p.db.NewConn(), touched: make(map[string]bool)}
 	p.sessMu.Lock()
 	p.sessions[s] = struct{}{}
 	p.sessMu.Unlock()

@@ -51,6 +51,11 @@ type DB struct {
 	// TABLE consults it so a commit can never resurrect a dropped table.
 	openTxns map[*Txn]struct{}
 
+	// locks is the striped slot-lock table (first-writer-wins row locks;
+	// see locktable.go). It has its own per-stripe mutexes, so
+	// transactional statements claim locks under mu's *read* side.
+	locks lockTable
+
 	defOnce sync.Once
 	defSess *Session // lazy default session behind DB.Exec
 
@@ -245,6 +250,25 @@ func (db *DB) execStateless(st sqlparser.Statement, meta []byte, params []Value)
 	return nil, fmt.Errorf("sqldb: unsupported statement %T", st)
 }
 
+// CanDropTable reports whether DROP TABLE would currently succeed: the
+// table exists and no open transaction has buffered writes against it. A
+// sharded store pre-flights a drop broadcast with this on every shard so
+// one shard's refusal cannot leave the schema half-dropped. Advisory: a
+// transaction may write the table between the probe and the drop.
+func (db *DB) CanDropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("sqldb: no table %s", name)
+	}
+	for txn := range db.openTxns {
+		if tt := txn.tables[name]; tt != nil && (len(tt.mods) > 0 || len(tt.ins) > 0) {
+			return fmt.Errorf("sqldb: cannot drop %s: written by an open transaction", name)
+		}
+	}
+	return nil
+}
+
 func (db *DB) execDropTable(s *sqlparser.DropTableStmt) (*Result, error) {
 	if _, ok := db.tables[s.Name]; !ok {
 		return nil, fmt.Errorf("sqldb: no table %s", s.Name)
@@ -414,7 +438,7 @@ func (db *DB) execCreateTable(s *sqlparser.CreateTableStmt) (*Result, error) {
 			return nil, fmt.Errorf("sqldb: duplicate column %s.%s", s.Name, c.Name)
 		}
 		seen[c.Name] = true
-		cols[i] = Column{Name: c.Name, Type: c.Type}
+		cols[i] = Column{Name: c.Name, Type: c.Type, Primary: c.Primary}
 	}
 	t := newTable(s.Name, cols)
 	for _, c := range s.Cols {

@@ -2,14 +2,20 @@ package sqldb
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 
 	"repro/internal/sqlparser"
 )
 
-// Column describes one table column.
+// Column describes one table column. Primary records a PRIMARY KEY
+// declaration from CREATE TABLE; it survives snapshots and WAL replay so
+// storage layers above (the sharded store routes rows by the first primary
+// column) can recover their placement rule from the schema alone.
 type Column struct {
-	Name string
-	Type sqlparser.ColType
+	Name    string
+	Type    sqlparser.ColType
+	Primary bool
 }
 
 // Table is the in-memory storage for one table: a row store plus hash
@@ -25,29 +31,41 @@ type Table struct {
 	ordIndexes map[string]*ordIndex  // column name -> ordered index
 	live       int
 
-	// lockOwner maps a row slot to the open transaction that first wrote
-	// it (first writer wins; see session.go). Guarded by the database
-	// write lock; nil until a transaction touches the table.
-	lockOwner map[int]*Txn
+	// lockSeed spreads this table's slots across the database's striped
+	// slot-lock table (see locktable.go). Fixed at creation.
+	lockSeed uint64
 }
 
-// lockSlot records txn as the owner of slot. Callers hold the database
-// write lock and have already established the slot is free or theirs.
-func (t *Table) lockSlot(slot int, txn *Txn) {
-	if t.lockOwner == nil {
-		t.lockOwner = make(map[int]*Txn)
-	}
-	t.lockOwner[slot] = txn
+// IndexInfo describes one index on a table, for introspection: storage
+// layers above sqldb (the sharded store reconciles schemas across shards
+// after a crash) rebuild DDL from it.
+type IndexInfo struct {
+	Column  string
+	Unique  bool
+	Ordered bool // true for the ordered (range) index, false for hash
 }
 
-// slotOwner returns the transaction owning slot, or nil.
-func (t *Table) slotOwner(slot int) *Txn { return t.lockOwner[slot] }
-
-// unlockSlot releases slot if txn owns it.
-func (t *Table) unlockSlot(slot int, txn *Txn) {
-	if t.lockOwner[slot] == txn {
-		delete(t.lockOwner, slot)
+// Indexes lists the table's indexes in a deterministic order (hash indexes
+// first, then ordered, each sorted by column).
+func (t *Table) Indexes() []IndexInfo {
+	var out []IndexInfo
+	cols := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		cols = append(cols, c)
 	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		out = append(out, IndexInfo{Column: c, Unique: t.indexes[c].unique})
+	}
+	cols = cols[:0]
+	for c := range t.ordIndexes {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		out = append(out, IndexInfo{Column: c, Ordered: true})
+	}
+	return out
 }
 
 type hashIndex struct {
@@ -127,12 +145,15 @@ func (idx *hashIndex) eqSlots(v Value) ([]int, bool) {
 }
 
 func newTable(name string, cols []Column) *Table {
+	h := fnv.New64a()
+	h.Write([]byte(name))
 	t := &Table{
 		Name:       name,
 		Cols:       cols,
 		colIdx:     make(map[string]int, len(cols)),
 		indexes:    make(map[string]*hashIndex),
 		ordIndexes: make(map[string]*ordIndex),
+		lockSeed:   h.Sum64(),
 	}
 	for i, c := range cols {
 		t.colIdx[c.Name] = i

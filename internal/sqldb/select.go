@@ -535,6 +535,12 @@ func (db *DB) resolveOrderBy(s *sqlparser.SelectStmt) []sqlparser.OrderItem {
 	return out
 }
 
+// SortCompare orders values exactly as ORDER BY does (NULLs first,
+// cross-kind values by kind, never failing). Exported for storage layers
+// that merge pre-sorted result streams — the sharded store's k-way merge
+// must agree with the per-shard sort order or merged output interleaves.
+func SortCompare(a, b Value) int { return compareForSort(a, b) }
+
 // compareForSort orders values with NULLs first and cross-kind values by
 // kind, so sorting never fails.
 func compareForSort(a, b Value) int {

@@ -375,8 +375,12 @@ func (txn *Txn) execSelect(s *sqlparser.SelectStmt, params []Value) (*Result, er
 func (txn *Txn) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, error) {
 	db := txn.db
 	defer db.trackBusy(time.Now())
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// The read lock suffices: a transactional statement mutates only its
+	// private buffer, and slot locks live in the striped lock table with
+	// its own synchronization. Only commit (and autocommit writes, DDL)
+	// take the write lock.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("sqldb: no table %s", s.Table)
@@ -429,8 +433,8 @@ func (txn *Txn) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, er
 func (txn *Txn) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, error) {
 	db := txn.db
 	defer db.trackBusy(time.Now())
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("sqldb: no table %s", s.Table)
@@ -450,9 +454,11 @@ func (txn *Txn) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	// Phase 1 — evaluate every new row and check locks, mutating nothing:
-	// an evaluation error or a write conflict must leave both the overlay
-	// and the lock table untouched.
+	// Phase 1 — evaluate every new row, mutating nothing: an evaluation
+	// error must leave both the overlay and the lock table untouched. The
+	// owner probe here is advisory (fast fail); the authoritative claim is
+	// the tryLock in phase 2, which arbitrates races with transactions
+	// running concurrently under the read lock.
 	type pendingMod struct {
 		slot   int // base slot, or merged slot of a pending insert
 		tr     *txnRow
@@ -481,29 +487,62 @@ func (txn *Txn) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, er
 			mods = append(mods, pendingMod{slot: slot, tr: tr, newRow: newRow})
 			continue
 		}
-		if owner := t.slotOwner(slot); owner != nil && owner != txn {
+		if owner := db.locks.owner(t, slot); owner != nil && owner != txn {
 			return nil, &WriteConflictError{Table: t.Name, Slot: slot}
 		}
 		mods = append(mods, pendingMod{slot: slot, newRow: newRow})
 	}
-	// Phase 2 — nothing can fail now: take the locks and buffer the rows.
+	// Phase 2a — claim every base-slot lock. A conflict releases exactly
+	// the locks this statement acquired (not ones the transaction already
+	// held from earlier statements) and buffers nothing.
+	if err := lockSlots(txn, t, mods, func(m pendingMod) (int, bool) {
+		return m.slot, m.tr == nil
+	}); err != nil {
+		return nil, err
+	}
+	// Phase 2b — nothing can fail now: buffer the rows.
 	tt := txn.table(t)
 	for _, m := range mods {
 		if m.tr != nil {
 			m.tr.row = m.newRow
 			continue
 		}
-		t.lockSlot(m.slot, txn)
 		tt.mods[m.slot] = &txnRow{row: m.newRow}
 	}
 	return &Result{Affected: len(mods)}, nil
 }
 
+// lockSlots claims the base-table slots that sel reports for each element,
+// first-writer-wins. On conflict it releases the locks acquired by this
+// call and returns a WriteConflictError; locks the transaction held before
+// the call stay held.
+func lockSlots[T any](txn *Txn, t *Table, items []T, sel func(T) (int, bool)) error {
+	db := txn.db
+	var acquired []int
+	for _, it := range items {
+		slot, lock := sel(it)
+		if !lock {
+			continue
+		}
+		ok, fresh := db.locks.tryLock(t, slot, txn)
+		if !ok {
+			for _, s := range acquired {
+				db.locks.unlock(t, s, txn)
+			}
+			return &WriteConflictError{Table: t.Name, Slot: slot}
+		}
+		if fresh {
+			acquired = append(acquired, slot)
+		}
+	}
+	return nil
+}
+
 func (txn *Txn) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, error) {
 	db := txn.db
 	defer db.trackBusy(time.Now())
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("sqldb: no table %s", s.Table)
@@ -515,14 +554,13 @@ func (txn *Txn) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	// Same two phases as UPDATE: conflicts surface before any buffering.
-	for _, slot := range slots {
-		if _, pending := insAt[slot]; pending {
-			continue
-		}
-		if owner := t.slotOwner(slot); owner != nil && owner != txn {
-			return nil, &WriteConflictError{Table: t.Name, Slot: slot}
-		}
+	// Same two phases as UPDATE: claim every lock (conflicts release just
+	// this statement's acquisitions), then buffer.
+	if err := lockSlots(txn, t, slots, func(slot int) (int, bool) {
+		_, pending := insAt[slot]
+		return slot, !pending
+	}); err != nil {
+		return nil, err
 	}
 	tt := txn.table(t)
 	affected := 0
@@ -532,7 +570,6 @@ func (txn *Txn) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, er
 			affected++
 			continue
 		}
-		t.lockSlot(slot, txn)
 		tt.mods[slot] = &txnRow{deleted: true}
 		affected++
 	}
@@ -612,7 +649,7 @@ func (s *Session) rollbackLocked() {
 func (txn *Txn) releaseLocked() {
 	for _, tt := range txn.tables {
 		for slot := range tt.mods {
-			tt.t.unlockSlot(slot, txn)
+			txn.db.locks.unlock(tt.t, slot, txn)
 		}
 	}
 	delete(txn.db.openTxns, txn)

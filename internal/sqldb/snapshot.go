@@ -263,7 +263,7 @@ func (db *DB) writeSnapshot() error {
 		t := db.tables[name]
 		cols := make([]walColDef, len(t.Cols))
 		for i, c := range t.Cols {
-			cols[i] = walColDef{name: c.Name, typ: c.Type}
+			cols[i] = walColDef{name: c.Name, typ: c.Type, primary: c.Primary}
 		}
 		ops = appendCreateTableOp(ops, name, cols)
 		// Indexes: primaries were folded into plain unique hash indexes

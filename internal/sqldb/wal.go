@@ -379,7 +379,7 @@ func (db *DB) applyOp(op walOp) error {
 		}
 		cols := make([]Column, len(op.cols))
 		for i, c := range op.cols {
-			cols[i] = Column{Name: c.name, Type: c.typ}
+			cols[i] = Column{Name: c.name, Type: c.typ, Primary: c.primary}
 		}
 		t := newTable(op.table, cols)
 		for _, c := range op.cols {

@@ -404,14 +404,23 @@ func TestWriteAfterCloseFails(t *testing.T) {
 // commit every committer pays its own fsync, serialized; with it a cohort
 // shares one, so throughput should scale with the writer count until the
 // device saturates.
+//
+// The txn arm wraps every 4 inserts in BEGIN..COMMIT: buffered
+// transactional writes run under the database *read* lock with the striped
+// slot-lock table arbitrating conflicts, so concurrent sessions overlap
+// where the seed's per-table lock map (guarded by the global mutex)
+// serialized them — the delta for the ROADMAP's lock-table-granularity
+// item.
 func BenchmarkConcurrentWriters(b *testing.B) {
 	payload := strings.Repeat("x", 64)
 	for _, mode := range []struct {
 		name    string
 		noGroup bool
+		txn     bool
 	}{
-		{"serialized", true},
-		{"groupcommit", false},
+		{"serialized", true, false},
+		{"groupcommit", false, false},
+		{"groupcommit-txn4", false, true},
 	} {
 		for _, sessions := range []int{1, 4, 16} {
 			b.Run(fmt.Sprintf("%s/sessions=%d", mode.name, sessions), func(b *testing.B) {
@@ -427,6 +436,8 @@ func BenchmarkConcurrentWriters(b *testing.B) {
 					b.Fatal(err)
 				}
 				st := mustParseB(b, "INSERT INTO t (id, payload) VALUES (?, ?)")
+				begin := mustParseB(b, "BEGIN")
+				commit := mustParseB(b, "COMMIT")
 				var next int64
 				b.ResetTimer()
 				var wg sync.WaitGroup
@@ -437,12 +448,30 @@ func BenchmarkConcurrentWriters(b *testing.B) {
 						defer wg.Done()
 						s := db.NewSession()
 						defer s.Close()
+						run := func(i int64) error {
+							_, err := s.Exec(st, Int(i), Text(payload))
+							return err
+						}
+						if mode.txn {
+							run = func(i int64) error {
+								if _, err := s.Exec(begin); err != nil {
+									return err
+								}
+								for k := int64(0); k < 4; k++ {
+									if _, err := s.Exec(st, Int(i*4+k), Text(payload)); err != nil {
+										return err
+									}
+								}
+								_, err := s.Exec(commit)
+								return err
+							}
+						}
 						for {
 							i := atomic.AddInt64(&next, 1)
 							if i > int64(b.N) {
 								return
 							}
-							if _, err := s.Exec(st, Int(i), Text(payload)); err != nil {
+							if err := run(i); err != nil {
 								errCh <- err
 								return
 							}

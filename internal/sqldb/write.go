@@ -100,7 +100,7 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, erro
 	// First writer wins: an autocommit UPDATE may not touch a row slot an
 	// open transaction has buffered a write for. Checked before any
 	// mutation so the statement stays atomic.
-	if err := checkSlotsUnlocked(t, slots); err != nil {
+	if err := db.checkSlotsUnlocked(t, slots); err != nil {
 		return nil, err
 	}
 
@@ -164,7 +164,7 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	if err := checkSlotsUnlocked(t, slots); err != nil {
+	if err := db.checkSlotsUnlocked(t, slots); err != nil {
 		return nil, err
 	}
 	affected := 0
@@ -179,13 +179,15 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt, params []Value) (*Result, erro
 }
 
 // checkSlotsUnlocked fails with a WriteConflictError if any slot is owned
-// by an open transaction. Callers hold db.mu exclusively.
-func checkSlotsUnlocked(t *Table, slots []int) error {
-	if len(t.lockOwner) == 0 {
+// by an open transaction. Callers hold db.mu exclusively, which excludes
+// transactional claimants (they run under the read side), so a clean check
+// here cannot be invalidated before the statement finishes.
+func (db *DB) checkSlotsUnlocked(t *Table, slots []int) error {
+	if len(db.openTxns) == 0 {
 		return nil
 	}
 	for _, slot := range slots {
-		if t.lockOwner[slot] != nil {
+		if db.locks.owner(t, slot) != nil {
 			return &WriteConflictError{Table: t.Name, Slot: slot}
 		}
 	}
