@@ -74,7 +74,9 @@ func figDurability() error {
 		} else {
 			fmt.Printf("%-28s %14v %13.2fx\n", c.name, per, float64(per)/float64(baseline))
 		}
-		db.Close()
+		if err := db.Close(); err != nil {
+			return fmt.Errorf("closing %s store: %w", c.name, err)
+		}
 	}
 
 	// Recovery: a full encrypted stack (proxy + DBMS) reopened from disk,

@@ -245,7 +245,7 @@ func (s *server) run() error {
 			if !s.isDraining() {
 				fmt.Fprintf(conn, "ERR server at max-sessions capacity (%d)\n", s.maxSessions)
 			}
-			conn.Close()
+			conn.Close() //cryptdb:vet-ok durabilityerr: refused connection carries no durable state; nothing to report to
 			continue
 		}
 		go func() {
@@ -282,7 +282,7 @@ func (s *server) run() error {
 		log.Printf("drain timeout after %v; closing remaining connections", drainTimeout)
 		s.mu.Lock()
 		for c := range s.conns {
-			c.Close()
+			c.Close() //cryptdb:vet-ok durabilityerr: forced teardown after drain timeout; the engine Close below is the durability point
 		}
 		s.mu.Unlock()
 		<-drained
@@ -314,7 +314,7 @@ func (s *server) shutdown() {
 	}
 	s.mu.Unlock()
 	if !already {
-		s.ln.Close()
+		s.ln.Close() //cryptdb:vet-ok durabilityerr: closing the listener only unblocks Accept; no data rides it
 	}
 	<-s.done
 }
@@ -364,7 +364,9 @@ func serve(conn net.Conn, ex workload.Executor) {
 		res, err := ex.Execute(sql)
 		if err != nil {
 			fmt.Fprintf(out, "ERR %v\n", err)
-			out.Flush()
+			if out.Flush() != nil {
+				return // write side is dead; stop serving the connection
+			}
 			continue
 		}
 		for _, row := range res.Rows {
@@ -372,14 +374,18 @@ func serve(conn net.Conn, ex workload.Executor) {
 			for i, v := range row {
 				parts[i] = v.String()
 			}
-			fmt.Fprintf(out, "ROW %s\n", strings.Join(parts, "\t"))
+			// Rows decrypt at the proxy and return to the client in the
+			// clear — this IS the trusted side of the CryptDB boundary.
+			fmt.Fprintf(out, "ROW %s\n", strings.Join(parts, "\t")) //cryptdb:sink-ok plaintext results return to the trusted client side of the proxy boundary
 		}
 		n := res.Affected
 		if len(res.Rows) > 0 {
 			n = len(res.Rows)
 		}
-		fmt.Fprintf(out, "OK %d\n", n)
-		out.Flush()
+		fmt.Fprintf(out, "OK %d\n", n) //cryptdb:sink-ok row count only; and the client side is trusted
+		if out.Flush() != nil {
+			return // client hung up mid-result; nothing left to serve
+		}
 	}
 	// A scan failure (e.g. a line over the 1 MiB buffer) would otherwise
 	// close the connection silently; tell the client why. Deadline errors
@@ -389,7 +395,9 @@ func serve(conn net.Conn, ex workload.Executor) {
 	// client reads it.
 	if err := in.Err(); err != nil && !os.IsTimeout(err) {
 		fmt.Fprintf(out, "ERR %v\n", err)
-		out.Flush()
+		if out.Flush() != nil {
+			return // both directions dead; skip the drain
+		}
 		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
 		io.Copy(io.Discard, conn) //nolint:errcheck // best-effort drain
 	}

@@ -1,0 +1,147 @@
+// cryptdb-vet is the repository's custom static-analysis driver. It
+// loads every package of the module with the standard library's go/parser
+// + go/types (no external tooling), runs the four CryptDB-specific
+// analyzers — plaintextflow, lockorder, durabilityerr, cryptohygiene —
+// and exits non-zero if any finding survives the annotation filter.
+//
+// Usage:
+//
+//	cryptdb-vet [-json] [patterns...]
+//
+// Patterns follow the go tool's shape: "./..." (default) analyzes the
+// whole module, "./internal/store/..." a subtree, "./internal/sqldb" a
+// single package. Findings print as file:line:col: [analyzer] message,
+// or as one JSON object per line with -json.
+//
+// Deliberate exceptions are annotated in source with
+// //cryptdb:sink-ok <reason> (plaintextflow) or
+// //cryptdb:vet-ok <analyzer>: <reason>; an annotation with an empty
+// reason is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis/vet"
+	"repro/internal/analysis/vet/suite"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON, one object per line")
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cryptdb-vet:", err)
+		os.Exit(2)
+	}
+
+	m, err := vet.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cryptdb-vet:", err)
+		os.Exit(2)
+	}
+	findings := vet.Apply(m, suite.All())
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings = filterByPatterns(root, findings, patterns)
+
+	for _, f := range findings {
+		if *jsonOut {
+			b, err := json.Marshal(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{relTo(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cryptdb-vet: encoding finding:", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relTo(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cryptdb-vet: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterByPatterns keeps findings whose file falls under one of the
+// go-style package patterns, resolved relative to the module root.
+func filterByPatterns(root string, findings []vet.Finding, patterns []string) []vet.Finding {
+	cwd, _ := os.Getwd()
+	var keep []vet.Finding
+	for _, f := range findings {
+		dir := filepath.Dir(f.Pos.Filename)
+		for _, p := range patterns {
+			if matchPattern(root, cwd, dir, p) {
+				keep = append(keep, f)
+				break
+			}
+		}
+	}
+	return keep
+}
+
+func matchPattern(root, cwd, dir, pattern string) bool {
+	base := cwd
+	if base == "" {
+		base = root
+	}
+	recursive := false
+	if strings.HasSuffix(pattern, "/...") {
+		recursive = true
+		pattern = strings.TrimSuffix(pattern, "/...")
+	}
+	if pattern == "." || pattern == "" {
+		pattern = base
+	} else if strings.HasPrefix(pattern, "./") || pattern == "." {
+		pattern = filepath.Join(base, strings.TrimPrefix(pattern, "./"))
+	} else if !filepath.IsAbs(pattern) {
+		pattern = filepath.Join(base, pattern)
+	}
+	pattern = filepath.Clean(pattern)
+	dir = filepath.Clean(dir)
+	if recursive {
+		return dir == pattern || strings.HasPrefix(dir, pattern+string(filepath.Separator))
+	}
+	return dir == pattern
+}
+
+func relTo(root, path string) string {
+	if r, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}

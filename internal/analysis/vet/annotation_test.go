@@ -1,0 +1,61 @@
+package vet
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestEmptyJustification proves the two halves of the annotation
+// contract: an annotation with an empty reason is itself a finding and
+// suppresses nothing, while a justified annotation suppresses the
+// matching analyzer's finding on the line it covers.
+func TestEmptyJustification(t *testing.T) {
+	m, err := Load("testdata/emptyreason")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The probe reports one finding per return statement; the fixture has
+	// one under each annotation.
+	probe := &Analyzer{
+		Name: "probe",
+		Doc:  "reports every return statement",
+		Run: func(m *Module) []Finding {
+			var out []Finding
+			for _, pkg := range m.Pkgs {
+				for _, file := range pkg.Files {
+					ast.Inspect(file, func(n ast.Node) bool {
+						if ret, ok := n.(*ast.ReturnStmt); ok {
+							out = append(out, Finding{
+								Pos:     m.Fset.Position(ret.Pos()),
+								Message: "probe: return statement",
+							})
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+	findings := Apply(m, []*Analyzer{probe})
+
+	var annotation, probed int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case AnnotationAnalyzer:
+			annotation++
+		case "probe":
+			probed++
+		default:
+			t.Errorf("unexpected analyzer %q: %s", f.Analyzer, f)
+		}
+	}
+	if annotation != 1 {
+		t.Errorf("got %d empty-justification findings, want 1: %v", annotation, findings)
+	}
+	// Only the return under the empty annotation survives: the justified
+	// annotation suppresses the other.
+	if probed != 1 {
+		t.Errorf("got %d probe findings, want 1 (empty annotation must not suppress): %v", probed, findings)
+	}
+}

@@ -1,0 +1,283 @@
+// Package cryptohygiene enforces the cryptographic ground rules the
+// onion-encryption layer depends on:
+//
+//  1. No math/rand (or math/rand/v2) anywhere under internal/crypto.
+//     Every byte of randomness that touches a key, an IV or a nonce must
+//     come from crypto/rand. (Test files are not loaded by the vet
+//     module loader, so deterministic test helpers are unaffected.)
+//
+//  2. AES-GCM nonce discipline: a nonce buffer passed to AEAD.Seal must
+//     be written between allocation and use — a make([]byte, n) that
+//     flows to Seal with no intervening rand.Read/copy/index-write is an
+//     all-zero nonce, which with a reused key voids GCM entirely.
+//
+//  3. Key material must not be printable: a named type representing key
+//     material (declared in a keys package, or named *Key under
+//     internal/crypto) must not declare String, GoString, Format,
+//     MarshalJSON or MarshalText — those methods are exactly how secrets
+//     leak into logs and error chains.
+//
+//  4. Key-typed values must not be passed to fmt or log printers
+//     anywhere in the module.
+package cryptohygiene
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/vet"
+)
+
+const name = "cryptohygiene"
+
+var Analyzer = &vet.Analyzer{
+	Name: name,
+	Doc:  "math/rand in crypto, zero AEAD nonces, printable or printed key material",
+	Run:  run,
+}
+
+func run(m *vet.Module) []vet.Finding {
+	var out []vet.Finding
+	for _, pkg := range m.Pkgs {
+		if vet.PathContains(pkg.Path, "internal/crypto") {
+			out = append(out, mathRandImports(m, pkg)...)
+			out = append(out, printableKeyTypes(m, pkg)...)
+		}
+		vet.EachFunc(pkg, func(fd *ast.FuncDecl) {
+			out = append(out, zeroNonce(m, pkg, fd)...)
+		})
+		out = append(out, printedKeys(m, pkg)...)
+	}
+	return out
+}
+
+func mathRandImports(m *vet.Module, pkg *vet.Package) []vet.Finding {
+	var out []vet.Finding
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, vet.Finding{
+					Pos:      m.Fset.Position(imp.Pos()),
+					Analyzer: name,
+					Message:  "math/rand imported under internal/crypto — use crypto/rand",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// isKeyMaterialType reports whether a (pointer-stripped) type represents
+// key material: declared in a package whose path ends in /keys, or a
+// named type containing "Key" declared under internal/crypto.
+func isKeyMaterialType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if vet.PathContains(obj.Pkg().Path(), "keys") {
+		return true
+	}
+	return vet.PathContains(obj.Pkg().Path(), "internal/crypto") &&
+		strings.Contains(obj.Name(), "Key")
+}
+
+var printableMethods = map[string]bool{
+	"String": true, "GoString": true, "Format": true,
+	"MarshalJSON": true, "MarshalText": true,
+}
+
+func printableKeyTypes(m *vet.Module, pkg *vet.Package) []vet.Finding {
+	var out []vet.Finding
+	vet.EachFunc(pkg, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil || !printableMethods[fd.Name.Name] {
+			return
+		}
+		obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+		if obj == nil {
+			return
+		}
+		recv := vet.RecvNamed(obj)
+		if recv == nil || !isKeyMaterialType(recv) {
+			return
+		}
+		out = append(out, vet.Finding{
+			Pos:      m.Fset.Position(fd.Name.Pos()),
+			Analyzer: name,
+			Message: fmt.Sprintf("key-material type %s declares %s — key bytes must not be printable",
+				recv.Obj().Name(), fd.Name.Name),
+		})
+	})
+	return out
+}
+
+// zeroNonce flags `nonce := make([]byte, n)` values that reach an
+// AEAD Seal call with no write in between.
+func zeroNonce(m *vet.Module, pkg *vet.Package, fd *ast.FuncDecl) []vet.Finding {
+	// Variables currently holding an all-zero make([]byte, ...) result.
+	zero := make(map[types.Object]bool)
+	var out []vet.Finding
+
+	markWritten := func(e ast.Expr) {
+		if obj := vet.FieldObj(pkg.Info, e); obj != nil {
+			delete(zero, obj)
+		}
+		if ix, ok := ast.Unparen(e).(*ast.IndexExpr); ok {
+			if obj := vet.FieldObj(pkg.Info, ix.X); obj != nil {
+				delete(zero, obj)
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if i < len(n.Rhs) {
+					if isZeroMake(pkg, n.Rhs[i]) {
+						if id, ok := l.(*ast.Ident); ok {
+							if obj := pkg.Info.Defs[id]; obj != nil {
+								zero[obj] = true
+							} else if obj := pkg.Info.Uses[id]; obj != nil {
+								zero[obj] = true
+							}
+							continue
+						}
+					}
+				}
+				markWritten(l)
+			}
+		case *ast.CallExpr:
+			fn := vet.CalleeFunc(pkg.Info, n)
+			if fn == nil {
+				return true
+			}
+			callee := fn.Name()
+			// Writers that fill the buffer.
+			if callee == "Read" || callee == "ReadFull" || callee == "Decode" {
+				for _, a := range n.Args {
+					markWritten(a)
+				}
+				return true
+			}
+			if callee == "Seal" || callee == "Open" {
+				// crypto/cipher AEAD: Seal(dst, nonce, plaintext, aad).
+				if recv := vet.RecvNamed(fn); recv != nil || fn.Pkg() != nil {
+					if len(n.Args) >= 2 {
+						if obj := vet.FieldObj(pkg.Info, n.Args[1]); obj != nil && zero[obj] {
+							out = append(out, vet.Finding{
+								Pos:      m.Fset.Position(n.Args[1].Pos()),
+								Analyzer: name,
+								Message:  fmt.Sprintf("nonce %s reaches %s without being filled — all-zero GCM nonce", obj.Name(), callee),
+							})
+						}
+					}
+				}
+			}
+			// A call taking &buf may write it.
+			for _, a := range n.Args {
+				if ue, ok := ast.Unparen(a).(*ast.UnaryExpr); ok {
+					markWritten(ue.X)
+				}
+			}
+		}
+		return true
+	})
+	// copy(nonce, src) is a builtin, caught here separately because
+	// CalleeFunc returns nil for builtins.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) == 2 {
+			markWritten(call.Args[0])
+		}
+		return true
+	})
+	return out
+}
+
+func isZeroMake(pkg *vet.Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	// The builtin itself is recorded in Uses as *types.Builtin; anything
+	// else under the name is a shadowing user function.
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return false
+		}
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	t := pkg.Info.Types[call.Args[0]].Type
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// printedKeys flags key-material values passed to fmt or log printing
+// functions anywhere in the module.
+func printedKeys(m *vet.Module, pkg *vet.Package) []vet.Finding {
+	var out []vet.Finding
+	vet.EachFunc(pkg, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := vet.CalleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			p := fn.Pkg().Path()
+			if p != "fmt" && p != "log" {
+				return true
+			}
+			if !strings.Contains(fn.Name(), "Print") &&
+				!strings.Contains(fn.Name(), "print") &&
+				fn.Name() != "Errorf" && fn.Name() != "Sprintf" &&
+				fn.Name() != "Fatalf" && fn.Name() != "Panicf" {
+				return true
+			}
+			for _, a := range call.Args {
+				t := pkg.Info.Types[a].Type
+				if isKeyMaterialType(t) {
+					out = append(out, vet.Finding{
+						Pos:      m.Fset.Position(a.Pos()),
+						Analyzer: name,
+						Message:  fmt.Sprintf("key material passed to %s.%s — secrets must not reach logs or errors", p, fn.Name()),
+					})
+				}
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,20 @@
+package cryptohygiene
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vet"
+)
+
+// TestFixture runs the analyzer over the miniature module in
+// testdata/hygiene and compares findings against its // want comments
+// in both directions.
+func TestFixture(t *testing.T) {
+	problems, err := vet.CheckFixture("testdata/hygiene", Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

@@ -1,0 +1,53 @@
+// Package rnd holds the seeded crypto-hygiene violations for the golden
+// test — a math/rand import inside the crypto tree, a printable key
+// type, an all-zero GCM nonce — next to the fixed forms.
+package rnd
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	mrand "math/rand" // want "math/rand imported under internal/crypto"
+)
+
+// Key is AES key material.
+type Key [16]byte
+
+// String makes the key printable: exactly how secrets leak into logs
+// and error chains.
+func (k Key) String() string { // want "key-material type Key declares String"
+	return "rnd-key"
+}
+
+func pad(n int) int64 { return mrand.Int63n(int64(n)) }
+
+// EncryptZero seals under a never-filled nonce: with a reused key this
+// voids GCM entirely.
+func EncryptZero(k Key, msg []byte) []byte {
+	g := mustGCM(k)
+	nonce := make([]byte, g.NonceSize())
+	return g.Seal(nil, nonce, msg, nil) // want "nonce nonce reaches Seal without being filled"
+}
+
+// Encrypt is the fixed form: the nonce is drawn from crypto/rand before
+// use.
+func Encrypt(k Key, msg []byte) []byte {
+	g := mustGCM(k)
+	nonce := make([]byte, g.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		panic(err)
+	}
+	return g.Seal(nonce, nonce, msg, nil)
+}
+
+func mustGCM(k Key) cipher.AEAD {
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		panic(err)
+	}
+	g, err := cipher.NewGCM(block)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,19 @@
+// Package proxy seeds the printed-key violation: key-typed values must
+// not reach fmt or log printers anywhere in the module.
+package proxy
+
+import (
+	"fmt"
+
+	"fixture/internal/crypto/rnd"
+)
+
+// dumpKey formats the raw key into a log line.
+func dumpKey(k rnd.Key) {
+	fmt.Println("key:", k) // want "key material passed to fmt.Println"
+}
+
+// dumpCount is the fixed form: log a derived, non-secret value.
+func dumpCount(n int) {
+	fmt.Println("keys loaded:", n)
+}

@@ -1,0 +1,112 @@
+// Shared AST/type-resolution helpers for the analyzers.
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the *types.Func a call expression statically
+// invokes — a package function, a method (value or interface dispatch on
+// a typed receiver), or nil for builtins, conversions and calls through
+// function-typed variables.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// RecvNamed returns the named type of a method's receiver (pointer
+// stripped), or nil for package-level functions.
+func RecvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// DeclaredIn reports whether an object is declared in a package whose
+// import path contains seg as a segment run (see PathContains). Objects
+// from the universe scope or with no package return false.
+func DeclaredIn(obj types.Object, seg string) bool {
+	return obj != nil && obj.Pkg() != nil && PathContains(obj.Pkg().Path(), seg)
+}
+
+// NamedDeclaredIn reports whether a type (after stripping pointers) is a
+// named type declared in a package whose path contains seg.
+func NamedDeclaredIn(t types.Type, seg string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return DeclaredIn(n.Obj(), seg)
+}
+
+// LastResultIsError reports whether fn's final result is the builtin
+// error type.
+func LastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// FieldObj resolves the object a selector or identifier denotes —
+// typically the struct field or variable a mutex lives in. Returns nil
+// when the expression is not a plain variable/field reference.
+func FieldObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		// stripes[i].mu reaches here as the X of the outer selector; the
+		// caller handles the selector itself. An index expression alone
+		// denotes no single object.
+		return nil
+	}
+	return nil
+}
+
+// EachFunc visits every function and method declaration with a body in
+// the package.
+func EachFunc(pkg *Package, fn func(decl *ast.FuncDecl)) {
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/analysis/vet"
+)
+
+// TestFixture runs the analyzer over the miniature module in
+// testdata/locks and compares findings against its // want comments in
+// both directions.
+func TestFixture(t *testing.T) {
+	problems, err := vet.CheckFixture("testdata/locks", Analyzer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

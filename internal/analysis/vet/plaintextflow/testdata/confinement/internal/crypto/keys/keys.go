@@ -1,0 +1,15 @@
+// Package keys mirrors the real module's key-derivation package; every
+// value and derivation result that leaves it is key material.
+package keys
+
+// MasterKey is the proxy's root secret.
+type MasterKey [16]byte
+
+// DeriveLabel derives a per-label subkey.
+func (k MasterKey) DeriveLabel(label string) []byte {
+	out := make([]byte, len(k))
+	for i := range out {
+		out[i] = k[i] ^ byte(len(label))
+	}
+	return out
+}

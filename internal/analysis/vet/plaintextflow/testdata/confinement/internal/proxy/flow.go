@@ -1,0 +1,59 @@
+// Package proxy holds the seeded plaintext-confinement violations the
+// golden test expects the analyzer to catch, next to the fixed forms it
+// must stay silent on.
+package proxy
+
+import (
+	"fmt"
+	"net"
+
+	"fixture/internal/crypto/keys"
+	"fixture/internal/sqldb"
+	"fixture/internal/sqlparser"
+)
+
+// leakKey ships a derived key to the storage engine: the core violation.
+func leakKey(db *sqldb.DB, mk keys.MasterKey) error {
+	kb := mk.DeriveLabel("col")
+	return db.ExecSQL(string(kb)) // want "key material \(DeriveLabel\) reaches the storage engine"
+}
+
+// passthrough forwards the raw statement without rewriting it: the AST
+// still carries the application's literals.
+func passthrough(db *sqldb.DB, st *sqlparser.SelectStmt) error {
+	return db.ExecSQL(st.Where) // want "statement AST .* reaches the storage engine"
+}
+
+// debugDump prints key bytes: the console is a sink too.
+func debugDump(mk keys.MasterKey) {
+	kb := mk.DeriveLabel("col")
+	fmt.Printf("derived=%x\n", kb) // want "key material \(DeriveLabel\) reaches a console/log sink"
+}
+
+// leakNet writes key bytes to a connection.
+func leakNet(c net.Conn, mk keys.MasterKey) {
+	kb := mk.DeriveLabel("net")
+	c.Write(kb) // want "key material \(DeriveLabel\) reaches a network connection"
+}
+
+// storeSealed is the fixed form: an encrypt-named chokepoint
+// declassifies, so nothing downstream of it is tainted.
+func storeSealed(db *sqldb.DB, mk keys.MasterKey) error {
+	kb := mk.DeriveLabel("col")
+	return db.ExecSQL(string(encryptValue(kb)))
+}
+
+// adjustOnion mirrors the real repo's deliberate exception: the
+// onion-adjustment UPDATE ships a layer key to the DBMS by design, and
+// the justified annotation suppresses the finding.
+func adjustOnion(db *sqldb.DB, mk keys.MasterKey) error {
+	kb := mk.DeriveLabel("onion")
+	//cryptdb:sink-ok fixture mirror of the onion-adjustment exception (§3.1)
+	return db.ExecSQL(string(kb))
+}
+
+func encryptValue(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

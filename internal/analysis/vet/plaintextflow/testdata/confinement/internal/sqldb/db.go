@@ -1,0 +1,12 @@
+// Package sqldb mirrors the storage engine's execution surface: every
+// argument crossing it must already be ciphertext.
+package sqldb
+
+// DB is the ciphertext-only store.
+type DB struct{}
+
+// ExecSQL executes a raw SQL string at the DBMS.
+func (d *DB) ExecSQL(q string) error { _ = q; return nil }
+
+// SetMeta persists a sealed metadata blob.
+func (d *DB) SetMeta(meta []byte) error { _ = meta; return nil }

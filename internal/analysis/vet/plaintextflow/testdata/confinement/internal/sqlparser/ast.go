@@ -1,0 +1,9 @@
+// Package sqlparser mirrors the real module's AST package: statement
+// types carry the application's plaintext literals until the proxy's
+// rewrite replaces them with ciphertext.
+package sqlparser
+
+// SelectStmt is a minimal statement carrying a raw predicate.
+type SelectStmt struct {
+	Where string
+}

@@ -1,0 +1,31 @@
+// Package suite registers the full analyzer set. It exists separately
+// from the framework package so analyzers can import vet without a
+// cycle, and so the driver and the self-test share one registry.
+package suite
+
+import (
+	"repro/internal/analysis/vet"
+	"repro/internal/analysis/vet/cryptohygiene"
+	"repro/internal/analysis/vet/durabilityerr"
+	"repro/internal/analysis/vet/lockorder"
+	"repro/internal/analysis/vet/plaintextflow"
+)
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*vet.Analyzer {
+	return []*vet.Analyzer{
+		plaintextflow.Analyzer,
+		lockorder.Analyzer,
+		durabilityerr.Analyzer,
+		cryptohygiene.Analyzer,
+	}
+}
+
+// Run loads the module rooted at root and applies the whole suite.
+func Run(root string) ([]vet.Finding, error) {
+	m, err := vet.Load(root)
+	if err != nil {
+		return nil, err
+	}
+	return vet.Apply(m, All()), nil
+}

@@ -1,0 +1,27 @@
+package suite
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsClean runs the full analyzer suite over the real
+// module. The tree must stay free of findings — every deliberate
+// exception carries its justification annotation in source — which is
+// what lets CI treat any cryptdb-vet output as a hard failure.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs("../../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,15 @@
+// Package probe exercises the annotation machinery: the first
+// suppression has no justification — it must become a finding and
+// suppress nothing — while the justified one below must suppress the
+// probe analyzer's finding on the line it covers.
+package probe
+
+func unjustified() int {
+	//cryptdb:vet-ok probe:
+	return 1
+}
+
+func justified() int {
+	//cryptdb:vet-ok probe: fixture exception with a written-down reason
+	return 2
+}

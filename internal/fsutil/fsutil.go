@@ -1,0 +1,65 @@
+// Package fsutil holds the small filesystem idioms the durability layer
+// repeats: syncing a directory after a rename, and the full
+// write-temp → sync → rename → sync-dir sequence that makes a small
+// metadata file (a shard manifest, a key file) crash-atomic AND durable.
+// os.WriteFile alone is neither: without an fsync the rename can be
+// durable while the bytes are not, and a crash leaves a valid-looking
+// empty file — which for a shard manifest silently misroutes every row.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SyncDir fsyncs a directory, making a completed rename inside it
+// durable. Errors are real: a missing directory or an EIO on the sync
+// means the rename may not survive a crash.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsutil: opening dir for sync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("fsutil: syncing dir %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("fsutil: closing dir %s: %w", dir, cerr)
+	}
+	return nil
+}
+
+// InstallFile atomically and durably installs data at path: write to a
+// temp file in the same directory, fsync it, rename over path, fsync the
+// directory. Every error — including Close, where delayed write failures
+// surface on some filesystems — is checked and returned.
+func InstallFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("fsutil: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: installing %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}

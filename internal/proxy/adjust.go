@@ -159,7 +159,11 @@ func (p *Proxy) lowerTo(cm *ColumnMeta, o onion.Onion, target onion.Layer) error
 		st.Descend()
 		sealed, err := p.sealedMetaLocked()
 		if err == nil {
-			_, err = p.db.ExecAutonomousWithMeta(upd, sealed)
+			// The UPDATE carries the peeled layer's key: shipping it to
+			// the DBMS for an in-place re-encryption is the paper's
+			// adjustable-onion protocol (§3.1) — the key reveals only the
+			// layer being given up, never an inner one.
+			_, err = p.db.ExecAutonomousWithMeta(upd, sealed) //cryptdb:sink-ok onion layer key ships to the DBMS to peel RND in place (§3.1)
 		}
 		if err != nil {
 			if !stmtApplied(err) {
@@ -248,7 +252,10 @@ func (p *Proxy) adjustJoin(a, b *ColumnMeta) error {
 		cm.mu.Unlock()
 		sealed, err := p.sealedMetaLocked()
 		if err == nil {
-			_, err = p.db.ExecAutonomousWithMeta(upd, sealed)
+			// JOIN-ADJ adjustment sends the delta that re-keys one
+			// column's ciphertexts onto the other's key (§3.4); the delta
+			// exposes neither column's key.
+			_, err = p.db.ExecAutonomousWithMeta(upd, sealed) //cryptdb:sink-ok join-adjustment delta ships to the DBMS to re-key ciphertexts in place (§3.4)
 		}
 		if err != nil {
 			if !stmtApplied(err) {

@@ -96,6 +96,7 @@ func (p *Proxy) createTable(st *sqlparser.CreateTableStmt) error {
 		p.nTab--
 		return err
 	}
+	//cryptdb:sink-ok anon is the rewritten CREATE TABLE: anonymized identifiers and onion column defs only, no data literals
 	if _, err := p.db.ExecAutonomousWithMeta(anon, sealed); err != nil {
 		if !stmtApplied(err) {
 			delete(p.tables, st.Name)
@@ -132,6 +133,7 @@ func (p *Proxy) createIndex(st *sqlparser.CreateIndexStmt) error {
 		return fmt.Errorf("proxy: unknown index type %q", st.Using)
 	}
 	if cm.Plain {
+		//cryptdb:sink-ok CREATE INDEX carries identifiers only; the column is declared plaintext by the schema annotation
 		_, err := p.db.Exec(&sqlparser.CreateIndexStmt{
 			Name: st.Name, Table: tm.Anon, Column: cm.Anon, Unique: st.Unique, Using: st.Using,
 		})

@@ -39,8 +39,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/crypto/joinadj"
+	"repro/internal/fsutil"
 	"repro/internal/onion"
 	"repro/internal/sqldb"
 	"repro/internal/sqlparser"
@@ -158,19 +160,17 @@ func loadOrCreateKeyFile(dir string, homBits int) (*keyFile, bool, error) {
 	return nil, true, nil
 }
 
-// writeKeyFile writes key material atomically with owner-only permissions.
+// writeKeyFile writes key material atomically and durably with owner-only
+// permissions. Losing the key file loses every ciphertext in the store,
+// so the install is fsynced end to end — a crash right after first boot
+// must not leave a data directory whose keys evaporated with the page
+// cache.
 func writeKeyFile(dir string, kf *keyFile) error {
 	data, err := json.MarshalIndent(kf, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(dir, keyFileName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o600); err != nil {
-		return fmt.Errorf("proxy: writing key file: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsutil.InstallFile(filepath.Join(dir, keyFileName), data, 0o600); err != nil {
 		return fmt.Errorf("proxy: installing key file: %w", err)
 	}
 	return nil
@@ -441,7 +441,10 @@ func (p *Proxy) restoreState(sealed []byte) error {
 			return fmt.Errorf("proxy: recovering row-id counter for %s: %w", tm.Logical, err)
 		}
 		if len(res.Rows) == 1 && !res.Rows[0][0].IsNull() {
-			tm.nextRid = res.Rows[0][0].I + 1
+			// Stored atomically: inserts bump the counter with
+			// atomic.AddInt64, and restore can overlap a warm-up query on
+			// another connection.
+			atomic.StoreInt64(&tm.nextRid, res.Rows[0][0].I+1)
 		}
 	}
 	return nil

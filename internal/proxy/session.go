@@ -176,11 +176,13 @@ func (s *Session) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*s
 			var sealed []byte
 			sealed, err = p.sealedMetaLocked()
 			if err == nil {
+				//cryptdb:sink-ok COMMIT is a bare transaction delimiter; the sealed blob is AEAD-encrypted metadata
 				res, err = s.db.ExecWithMeta(st, sealed)
 			}
 			p.metaMu.Unlock()
 			p.mu.RUnlock()
 		} else {
+			//cryptdb:sink-ok BEGIN/COMMIT/ROLLBACK carry no literals (§3.3: transactions pass through unchanged)
 			res, err = s.db.Exec(st)
 		}
 		if !s.db.InTxn() {

@@ -289,17 +289,30 @@ func (db *DB) execDropTable(s *sqlparser.DropTableStmt) (*Result, error) {
 // SetMeta durably commits an application-metadata blob in its own WAL
 // batch, independent of any statement. See ExecWithMeta.
 func (db *DB) SetMeta(meta []byte) error {
+	if db.wal != nil {
+		// Announce before taking the lock, so a flushing leader knows to
+		// hold its cohort open for this blob's frame (the same protocol
+		// autocommit follows).
+		db.wal.announce()
+		defer db.wal.retire()
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.wal == nil {
 		db.meta = append([]byte(nil), meta...)
+		db.mu.Unlock()
 		return nil
 	}
+	// Stage under the lock — sequence numbers and db.meta stay in lockstep
+	// with WAL order — but pay the fsync after releasing it, so a metadata
+	// commit never stalls readers or other committers.
 	db.walSeq++
-	if err := db.wal.appendBatch(db.walSeq, appendMetaOp(nil, meta)); err != nil {
-		return err
-	}
+	cohort := db.wal.enqueue(db.walSeq, appendMetaOp(nil, meta))
 	db.meta = append([]byte(nil), meta...)
+	db.mu.Unlock()
+
+	if err := db.wal.waitFlush(cohort); err != nil {
+		return &DurabilityError{Err: err}
+	}
 	return nil
 }
 

@@ -23,6 +23,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"syscall"
+
+	"repro/internal/fsutil"
 )
 
 const (
@@ -172,6 +174,10 @@ func (db *DB) Close() error {
 	if db.wal == nil {
 		return nil
 	}
+	// Shutdown quiesce: db.mu is held across the WAL's final flush+fsync on
+	// purpose — no statement may slip in between the last flushed batch and
+	// the writer tearing down.
+	//cryptdb:vet-ok lockorder: Close quiesces the database; holding db.mu across the final fsync is the point
 	err := db.wal.close()
 	if db.lock != nil {
 		db.lock.release()
@@ -197,6 +203,7 @@ func acquireDirLock(path string) (*dirLock, error) {
 
 func (l *dirLock) release() {
 	syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN) //nolint:errcheck // closing drops it regardless
+	//cryptdb:vet-ok durabilityerr: lock file carries no data; the kernel drops the flock on close either way
 	l.f.Close()
 }
 
@@ -212,6 +219,7 @@ func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return nil
 	}
+	//cryptdb:vet-ok lockorder: a checkpoint snapshots a frozen state; db.mu must span snapshot write + WAL reset
 	return db.checkpointLocked()
 }
 
@@ -246,6 +254,7 @@ func (db *DB) maybeAutoCheckpoint() error {
 	if atomic.LoadInt64(&db.wal.size) < limit {
 		return nil // another committer checkpointed first
 	}
+	//cryptdb:vet-ok lockorder: a checkpoint snapshots a frozen state; db.mu must span snapshot write + WAL reset
 	return db.checkpointLocked()
 }
 
@@ -334,11 +343,11 @@ func (db *DB) writeSnapshot() error {
 		os.Remove(tmp)
 		return fmt.Errorf("sqldb: snapshot rename: %w", err)
 	}
-	if d, err := os.Open(db.dir); err == nil {
-		d.Sync() //nolint:errcheck // best-effort durability of the rename
-		d.Close()
-	}
-	return nil
+	// The rename is only durable once the directory entry is synced; a
+	// failure here is a real durability error, not a best-effort detail —
+	// the previous snapshot may be gone while the new name is not yet
+	// persistent.
+	return fsutil.SyncDir(db.dir)
 }
 
 // loadSnapshot rebuilds state from a snapshot file, returning the WAL

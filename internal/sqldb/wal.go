@@ -692,13 +692,6 @@ func (w *walWriter) awaitStragglers() {
 	w.mu.Lock()
 }
 
-// appendBatch is enqueue+waitFlush for callers that are not splitting the
-// two around a lock release (meta-only batches, tests).
-func (w *walWriter) appendBatch(seq uint64, ops []byte) error {
-	w.announce()
-	defer w.retire()
-	return w.waitFlush(w.enqueue(seq, ops))
-}
 
 // flushCohort writes one cohort to the file and syncs it. Runs outside
 // w.mu; the flushing flag guarantees a single writer.

@@ -43,6 +43,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fsutil"
 	"repro/internal/sqldb"
 	"repro/internal/sqlparser"
 	"repro/internal/store"
@@ -165,13 +166,14 @@ func Open(dir string, n int, opts sqldb.DurabilityOptions) (*Engine, error) {
 		if n < 1 {
 			return nil, fmt.Errorf("sharded: shard count must be >= 1 for a fresh data dir")
 		}
-		data, _ := json.MarshalIndent(manifest{Version: 1, Shards: n}, "", "  ")
-		tmp := mpath + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o600); err != nil {
-			return nil, fmt.Errorf("sharded: writing manifest: %w", err)
+		data, err := json.MarshalIndent(manifest{Version: 1, Shards: n}, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("sharded: encoding manifest: %w", err)
 		}
-		if err := os.Rename(tmp, mpath); err != nil {
-			os.Remove(tmp)
+		// Durable install, not just atomic: the manifest pins the shard
+		// count, and a crash that leaves it empty or unsynced misroutes
+		// every row on the next open.
+		if err := fsutil.InstallFile(mpath, data, 0o600); err != nil {
 			return nil, fmt.Errorf("sharded: installing manifest: %w", err)
 		}
 	}
@@ -182,6 +184,7 @@ func Open(dir string, n int, opts sqldb.DurabilityOptions) (*Engine, error) {
 		if !ok {
 			for _, sh := range e.shards {
 				if sh != nil {
+					//cryptdb:vet-ok durabilityerr: best-effort teardown of partially opened shards; the open error propagates
 					sh.Close()
 				}
 			}
@@ -725,6 +728,7 @@ func (e *Engine) broadcastAutonomous(st sqlparser.Statement, meta []byte, params
 		}
 		defer func() {
 			for _, s := range sessions {
+				//cryptdb:vet-ok durabilityerr: Close here only rolls back uncommitted buffers; commit errors surface from Exec
 				s.Close() //nolint:errcheck // rolls back anything uncommitted
 			}
 		}()
