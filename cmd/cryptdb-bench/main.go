@@ -18,7 +18,11 @@
 //	cryptdb-bench -fig durability WAL/snapshot write-path overhead & recovery
 //	cryptdb-bench -fig groupcommit concurrent sessions + WAL group commit
 //	cryptdb-bench -fig shardscale sharded store write scaling (1/2/4/8 shards)
+//	cryptdb-bench -fig joins    compiled vs interpreted joins and GROUP BY
 //	cryptdb-bench -fig all      everything
+//
+// With -json, each figure also writes BENCH_<fig>.json (ns/op, rows/s and
+// GOMAXPROCS per arm) for plotting and trend tracking.
 package main
 
 import (
@@ -45,18 +49,25 @@ var figures = map[string]func() error{
 	"durability":  figDurability,
 	"groupcommit": figGroupCommit,
 	"shardscale":  figShardScale,
+	"joins":       figJoins,
 }
 
-var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit", "shardscale"}
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit", "shardscale", "joins"}
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, durability, groupcommit, shardscale, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, durability, groupcommit, shardscale, joins, all)")
+	jsonFlag := flag.Bool("json", false, "also write BENCH_<fig>.json per figure")
 	flag.Parse()
+	jsonEnabled = *jsonFlag
 
 	if *fig == "all" {
 		for _, f := range order {
 			header(f)
 			if err := figures[f](); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+				os.Exit(1)
+			}
+			if err := flushJSON(f); err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
 				os.Exit(1)
 			}
@@ -71,6 +82,10 @@ func main() {
 	}
 	header(*fig)
 	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "figure %s: %v\n", *fig, err)
+		os.Exit(1)
+	}
+	if err := flushJSON(*fig); err != nil {
 		fmt.Fprintf(os.Stderr, "figure %s: %v\n", *fig, err)
 		os.Exit(1)
 	}

@@ -92,6 +92,10 @@ type Stats struct {
 	InProxySorts     int64
 	ASTCacheHits     int64
 	ASTCacheMisses   int64
+	// Server reports how the storage engine executed the proxy's rewritten
+	// statements (compiled vs interpreted pipeline, join strategy, grouped
+	// scatter pushdowns), summed across shards.
+	Server sqldb.PlanCounters
 }
 
 // Proxy is a single-principal CryptDB proxy bound to one storage engine —
@@ -312,6 +316,7 @@ func (p *Proxy) Stats() Stats {
 		Resyncs:          atomic.LoadInt64(&p.stats.Resyncs),
 		InProxySorts:     atomic.LoadInt64(&p.stats.InProxySorts),
 	}
+	out.Server = p.db.Stats().Plan
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.astCache != nil {

@@ -565,3 +565,27 @@ func TestGroupByIntKey(t *testing.T) {
 		t.Fatalf("rows = %v", res.Rows)
 	}
 }
+
+// TestServerPlanCounters checks that proxy stats surface how the server
+// executed the rewritten queries: in the default configuration every
+// SELECT the proxy emits runs on the compiled pipeline, and an encrypted
+// equi-join (DET onions on both sides) executes as a hash join.
+func TestServerPlanCounters(t *testing.T) {
+	p := newTestProxy(t)
+	seedEmployees(t, p)
+	mustExec(t, p, "CREATE TABLE depts (dept TEXT, budget INT)")
+	for _, r := range []string{"('sales', 100)", "('eng', 200)", "('hr', 300)"} {
+		mustExec(t, p, "INSERT INTO depts (dept, budget) VALUES "+r)
+	}
+	res := mustExec(t, p, "SELECT employees.name, depts.budget FROM employees, depts WHERE employees.dept = depts.dept")
+	if len(res.Rows) != 5 {
+		t.Fatalf("join rows = %d, want 5", len(res.Rows))
+	}
+	st := p.Stats().Server
+	if st.Compiled == 0 {
+		t.Fatalf("no compiled executions surfaced: %+v", st)
+	}
+	if st.HashJoins == 0 {
+		t.Fatalf("encrypted equi-join did not hash-join: %+v", st)
+	}
+}

@@ -1,0 +1,864 @@
+package sqldb
+
+// This file lowers expressions and whole SELECT plans into closures, so the
+// operator pipeline in exec.go evaluates rows without re-walking the
+// sqlparser AST: column references resolve to (table, column) positions
+// once, operators dispatch once, and aggregate references become slot
+// indexes. Anything the compiler does not cover reports ok=false and the
+// query falls back to the interpreter in select.go, which doubles as the
+// oracle for equivalence tests. The compiled forms must preserve the
+// interpreter's semantics exactly — NULL comparisons, text<->int coercion,
+// AND/OR short-circuit, integer division by zero — so each case below
+// mirrors the corresponding branch of evalCtx.eval.
+
+import (
+	"repro/internal/sqlparser"
+)
+
+// execEnv is the per-row evaluation environment of compiled expressions:
+// the current joined tuple, the statement parameters, and — in grouped
+// output context — the finalized aggregate values by slot.
+type execEnv struct {
+	tup    tuple
+	params []Value
+	aggs   []Value
+}
+
+// compiledExpr evaluates one lowered expression against an environment.
+type compiledExpr func(ev *execEnv) (Value, error)
+
+// colSlot is a resolved bare column reference: the hot aggregate and
+// group-key paths read tup[ti][ci] directly instead of calling the
+// compiled closure per row.
+type colSlot struct {
+	ti, ci int
+	ok     bool
+}
+
+// bareColSlot resolves e when it is a plain column reference.
+func bareColSlot(sc *scope, e sqlparser.Expr) colSlot {
+	if cr, isCol := e.(*sqlparser.ColRef); isCol {
+		if ti, ci, err := sc.resolve(cr.Table, cr.Column); err == nil {
+			return colSlot{ti: ti, ci: ci, ok: true}
+		}
+	}
+	return colSlot{}
+}
+
+// andChain combines filter conjuncts with AND short-circuit semantics:
+// evaluation stops at the first non-truthy conjunct, exactly as the
+// interpreter walks the original left-associated AND tree.
+func andChain(cs []compiledExpr) compiledExpr {
+	return func(ev *execEnv) (Value, error) {
+		for _, c := range cs {
+			v, err := c(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if !v.Truthy() {
+				return Bool(false), nil
+			}
+		}
+		return Bool(true), nil
+	}
+}
+
+// exprCompiler lowers expressions against one query scope. aggIdx is nil in
+// row context; in grouped output context (projection, HAVING, ORDER BY over
+// groups) it maps an aggregate call's printed form to its execEnv.aggs slot,
+// mirroring the interpreter's agg map.
+type exprCompiler struct {
+	db     *DB
+	sc     *scope
+	aggIdx map[string]int
+}
+
+func (c *exprCompiler) compile(e sqlparser.Expr) (compiledExpr, bool) {
+	switch x := e.(type) {
+	case *sqlparser.IntLit:
+		v := Int(x.V)
+		return func(*execEnv) (Value, error) { return v, nil }, true
+	case *sqlparser.StrLit:
+		v := Text(x.V)
+		return func(*execEnv) (Value, error) { return v, nil }, true
+	case *sqlparser.BytesLit:
+		v := Blob(x.V)
+		return func(*execEnv) (Value, error) { return v, nil }, true
+	case *sqlparser.NullLit:
+		return func(*execEnv) (Value, error) { return Null(), nil }, true
+	case *sqlparser.BoolLit:
+		v := Bool(x.V)
+		return func(*execEnv) (Value, error) { return v, nil }, true
+	case *sqlparser.Param:
+		idx := x.Index
+		return func(ev *execEnv) (Value, error) {
+			if idx >= len(ev.params) {
+				return Value{}, errMissingParam(idx)
+			}
+			return ev.params[idx], nil
+		}, true
+	case *sqlparser.ColRef:
+		ti, ci, err := c.sc.resolve(x.Table, x.Column)
+		if err != nil {
+			return nil, false // interpreter reproduces the resolution error
+		}
+		return func(ev *execEnv) (Value, error) {
+			if ev.tup == nil || ev.tup[ti] == nil {
+				return Null(), nil
+			}
+			return ev.tup[ti][ci], nil
+		}, true
+	case *sqlparser.BinaryExpr:
+		return c.compileBinary(x)
+	case *sqlparser.UnaryExpr:
+		sub, ok := c.compile(x.E)
+		if !ok {
+			return nil, false
+		}
+		switch x.Op {
+		case "NOT":
+			return func(ev *execEnv) (Value, error) {
+				v, err := sub(ev)
+				if err != nil {
+					return Value{}, err
+				}
+				if v.IsNull() {
+					return Null(), nil
+				}
+				return Bool(!v.Truthy()), nil
+			}, true
+		case "-":
+			return func(ev *execEnv) (Value, error) {
+				v, err := sub(ev)
+				if err != nil {
+					return Value{}, err
+				}
+				n, err := v.AsInt()
+				if err != nil {
+					return Value{}, err
+				}
+				return Int(-n), nil
+			}, true
+		}
+		return nil, false
+	case *sqlparser.InExpr:
+		sub, ok := c.compile(x.E)
+		if !ok {
+			return nil, false
+		}
+		items := make([]compiledExpr, len(x.List))
+		for i, item := range x.List {
+			ce, ok := c.compile(item)
+			if !ok {
+				return nil, false
+			}
+			items[i] = ce
+		}
+		not := x.Not
+		return func(ev *execEnv) (Value, error) {
+			v, err := sub(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.IsNull() {
+				return Bool(not), nil
+			}
+			for _, item := range items {
+				iv, err := item(ev)
+				if err != nil {
+					return Value{}, err
+				}
+				if v.Equal(iv) {
+					return Bool(!not), nil
+				}
+			}
+			return Bool(not), nil
+		}, true
+	case *sqlparser.LikeExpr:
+		sub, ok := c.compile(x.E)
+		if !ok {
+			return nil, false
+		}
+		pat, ok := c.compile(x.Pattern)
+		if !ok {
+			return nil, false
+		}
+		not := x.Not
+		return func(ev *execEnv) (Value, error) {
+			v, err := sub(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			p, err := pat(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.IsNull() || p.IsNull() {
+				return Bool(false), nil
+			}
+			return Bool(likeMatch(valueText(v), valueText(p)) != not), nil
+		}, true
+	case *sqlparser.BetweenExpr:
+		sub, ok := c.compile(x.E)
+		if !ok {
+			return nil, false
+		}
+		lo, ok := c.compile(x.Lo)
+		if !ok {
+			return nil, false
+		}
+		hi, ok := c.compile(x.Hi)
+		if !ok {
+			return nil, false
+		}
+		not := x.Not
+		return func(ev *execEnv) (Value, error) {
+			v, err := sub(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			lv, err := lo(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			hv, err := hi(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if v.IsNull() || lv.IsNull() || hv.IsNull() {
+				return Bool(false), nil
+			}
+			cl, err := v.Compare(lv)
+			if err != nil {
+				return Value{}, err
+			}
+			ch, err := v.Compare(hv)
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool((cl >= 0 && ch <= 0) != not), nil
+		}, true
+	case *sqlparser.IsNullExpr:
+		sub, ok := c.compile(x.E)
+		if !ok {
+			return nil, false
+		}
+		not := x.Not
+		return func(ev *execEnv) (Value, error) {
+			v, err := sub(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(v.IsNull() != not), nil
+		}, true
+	case *sqlparser.FuncCall:
+		return c.compileFuncCall(x)
+	}
+	return nil, false
+}
+
+func (c *exprCompiler) compileFuncCall(x *sqlparser.FuncCall) (compiledExpr, bool) {
+	// Aggregate calls in grouped output context read their slot.
+	if c.aggIdx != nil {
+		if idx, ok := c.aggIdx[x.String()]; ok {
+			return func(ev *execEnv) (Value, error) { return ev.aggs[idx], nil }, true
+		}
+	}
+	if isBuiltinAgg(x.Name) {
+		return nil, false // aggregate in row context: interpreter errors
+	}
+	// The registries are stable for the duration of a statement (Exec holds
+	// db.mu, RegisterUDF takes the write side), so resolving here is safe.
+	if _, isAgg := c.db.aggUDFs[x.Name]; isAgg {
+		return nil, false
+	}
+	fn, ok := c.db.udfs[x.Name]
+	if !ok {
+		return nil, false // unknown function: interpreter errors
+	}
+	args := make([]compiledExpr, len(x.Args))
+	for i, a := range x.Args {
+		ce, ok := c.compile(a)
+		if !ok {
+			return nil, false
+		}
+		args[i] = ce
+	}
+	return func(ev *execEnv) (Value, error) {
+		vals := make([]Value, len(args))
+		for i, a := range args {
+			v, err := a(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			vals[i] = v
+		}
+		return fn(vals)
+	}, true
+}
+
+// Comparison opcodes, resolved at compile time.
+const (
+	cmpEq = iota
+	cmpNe
+	cmpLt
+	cmpLe
+	cmpGt
+	cmpGe
+)
+
+func (c *exprCompiler) compileBinary(x *sqlparser.BinaryExpr) (compiledExpr, bool) {
+	l, ok := c.compile(x.L)
+	if !ok {
+		return nil, false
+	}
+	r, ok := c.compile(x.R)
+	if !ok {
+		return nil, false
+	}
+	switch x.Op {
+	case "AND":
+		return func(ev *execEnv) (Value, error) {
+			lv, err := l(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if !lv.IsNull() && !lv.Truthy() {
+				return Bool(false), nil
+			}
+			rv, err := r(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(lv.Truthy() && rv.Truthy()), nil
+		}, true
+	case "OR":
+		return func(ev *execEnv) (Value, error) {
+			lv, err := l(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.Truthy() {
+				return Bool(true), nil
+			}
+			rv, err := r(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			return Bool(rv.Truthy()), nil
+		}, true
+	case "=", "!=", "<", "<=", ">", ">=":
+		var op int
+		switch x.Op {
+		case "=":
+			op = cmpEq
+		case "!=":
+			op = cmpNe
+		case "<":
+			op = cmpLt
+		case "<=":
+			op = cmpLe
+		case ">":
+			op = cmpGt
+		default:
+			op = cmpGe
+		}
+		return func(ev *execEnv) (Value, error) {
+			lv, err := l(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := r(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Bool(false), nil
+			}
+			cmp, err := lv.Compare(rv)
+			if err != nil {
+				return Value{}, err
+			}
+			var out bool
+			switch op {
+			case cmpEq:
+				out = cmp == 0
+			case cmpNe:
+				out = cmp != 0
+			case cmpLt:
+				out = cmp < 0
+			case cmpLe:
+				out = cmp <= 0
+			case cmpGt:
+				out = cmp > 0
+			case cmpGe:
+				out = cmp >= 0
+			}
+			return Bool(out), nil
+		}, true
+	case "||":
+		return func(ev *execEnv) (Value, error) {
+			lv, err := l(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := r(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null(), nil
+			}
+			return Text(valueText(lv) + valueText(rv)), nil
+		}, true
+	case "+", "-", "*", "/", "%", "&", "|", "^":
+		op := x.Op[0]
+		return func(ev *execEnv) (Value, error) {
+			lv, err := l(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := r(ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return Null(), nil
+			}
+			a, err := lv.AsInt()
+			if err != nil {
+				return Value{}, err
+			}
+			b, err := rv.AsInt()
+			if err != nil {
+				return Value{}, err
+			}
+			switch op {
+			case '+':
+				return Int(a + b), nil
+			case '-':
+				return Int(a - b), nil
+			case '*':
+				return Int(a * b), nil
+			case '/':
+				if b == 0 {
+					return Null(), nil
+				}
+				return Int(a / b), nil
+			case '%':
+				if b == 0 {
+					return Null(), nil
+				}
+				return Int(a % b), nil
+			case '&':
+				return Int(a & b), nil
+			case '|':
+				return Int(a | b), nil
+			default:
+				return Int(a ^ b), nil
+			}
+		}, true
+	}
+	return nil, false
+}
+
+//
+// SELECT lowering: plan -> operator pipeline.
+//
+
+// compiledOrder is one lowered ORDER BY key.
+type compiledOrder struct {
+	key  compiledExpr
+	desc bool
+}
+
+// compiledSelect is a SELECT lowered into a source pipeline (scan + join
+// operators) plus compiled filter, grouping, projection and ordering. It is
+// built per execution (access paths embed the parameters) and run once.
+type compiledSelect struct {
+	db     *DB
+	s      *sqlparser.SelectStmt
+	sc     *scope
+	params []Value
+
+	src     rowSource
+	seedAcc access
+	hasSeed bool
+
+	where compiledExpr // nil when the statement has no WHERE
+	// usedWhere marks WHERE conjuncts a hash join consumed as equi-key
+	// columns; the filter skips them (the join enforces the equality).
+	usedWhere map[sqlparser.Expr]bool
+
+	grouped       bool
+	groupKeys     []compiledExpr
+	groupKeySlots []colSlot // direct reads for bare-column group keys
+	aggs          []aggSpec
+	having        compiledExpr // nil when absent
+
+	cols    []string
+	proj    []compiledExpr
+	orderBy []compiledOrder
+	projMem []Value // chunk allocator for result rows (projectInto)
+}
+
+// aggSpec builds one aggregate accumulator per group.
+type aggSpec struct {
+	newAcc func() vAgg
+}
+
+// compileSelect lowers s into a compiledSelect, or reports ok=false when any
+// piece is outside the compiler's coverage (the interpreter then runs the
+// query and reproduces any evaluation error the compiler refused to guess
+// at). aggCalls is the pre-collected aggregate list from execSelect.
+func (db *DB) compileSelect(s *sqlparser.SelectStmt, sc *scope, aggCalls []*sqlparser.FuncCall, params []Value) (*compiledSelect, bool) {
+	cp := &compiledSelect{db: db, s: s, sc: sc, params: params}
+	cp.grouped = len(s.GroupBy) > 0 || len(aggCalls) > 0
+
+	rowc := &exprCompiler{db: db, sc: sc}
+
+	// Source pipeline: scans and joins.
+	if !cp.compileSource(rowc) {
+		return nil, false
+	}
+
+	if s.Where != nil {
+		// Conjuncts consumed as hash-join keys are already enforced on
+		// every joined tuple; filter on the rest, preserving the
+		// interpreter's left-to-right AND order among them.
+		var remaining []compiledExpr
+		for _, pred := range conjuncts(s.Where) {
+			if cp.usedWhere[pred] {
+				continue
+			}
+			ce, ok := rowc.compile(pred)
+			if !ok {
+				return nil, false
+			}
+			remaining = append(remaining, ce)
+		}
+		switch len(remaining) {
+		case 0:
+		case 1:
+			cp.where = remaining[0]
+		default:
+			cp.where = andChain(remaining)
+		}
+	}
+
+	// Output context: grouped queries project over aggregate slots.
+	outc := rowc
+	if cp.grouped {
+		// Deduplicate aggregate calls by printed form, as the interpreter
+		// does, and lower each into an accumulator factory.
+		uniq := make(map[string]int)
+		for _, fc := range aggCalls {
+			key := fc.String()
+			if _, ok := uniq[key]; ok {
+				continue
+			}
+			spec, ok := db.compileAgg(rowc, fc)
+			if !ok {
+				return nil, false
+			}
+			uniq[key] = len(cp.aggs)
+			cp.aggs = append(cp.aggs, spec)
+		}
+		for _, g := range s.GroupBy {
+			ge, ok := rowc.compile(g)
+			if !ok {
+				return nil, false
+			}
+			cp.groupKeys = append(cp.groupKeys, ge)
+			cp.groupKeySlots = append(cp.groupKeySlots, bareColSlot(sc, g))
+		}
+		outc = &exprCompiler{db: db, sc: sc, aggIdx: uniq}
+		if s.Having != nil {
+			h, ok := outc.compile(s.Having)
+			if !ok {
+				return nil, false
+			}
+			cp.having = h
+		}
+	} else if s.Having != nil {
+		// HAVING without grouping: leave it to the interpreter.
+		return nil, false
+	}
+
+	cols, projExprs, err := db.projectionPlan(s, sc)
+	if err != nil {
+		return nil, false
+	}
+	cp.cols = cols
+	for _, e := range projExprs {
+		pe, ok := outc.compile(e)
+		if !ok {
+			return nil, false
+		}
+		cp.proj = append(cp.proj, pe)
+	}
+
+	for _, item := range db.resolveOrderBy(s) {
+		ke, ok := outc.compile(item.Expr)
+		if !ok {
+			return nil, false
+		}
+		cp.orderBy = append(cp.orderBy, compiledOrder{key: ke, desc: item.Desc})
+	}
+	return cp, true
+}
+
+// compileAgg lowers one aggregate call into an accumulator factory,
+// mirroring newAggAcc. Argument expressions compile in row context; an
+// aggregate nested inside another aggregate's argument fails compilation so
+// the interpreter can produce its context error.
+func (db *DB) compileAgg(rowc *exprCompiler, fc *sqlparser.FuncCall) (aggSpec, bool) {
+	if factory, ok := db.aggUDFs[fc.Name]; ok {
+		args := make([]compiledExpr, len(fc.Args))
+		for i, a := range fc.Args {
+			ce, ok := rowc.compile(a)
+			if !ok {
+				return aggSpec{}, false
+			}
+			args[i] = ce
+		}
+		return aggSpec{newAcc: func() vAgg { return &cUDFAcc{args: args, state: factory()} }}, true
+	}
+	if fc.Name == "COUNT" && fc.Star {
+		return aggSpec{newAcc: func() vAgg { return &cCountStarAcc{} }}, true
+	}
+	// The one-argument builtins: an arity mismatch only errors when a row is
+	// actually stepped, so leave those statements to the interpreter.
+	if len(fc.Args) != 1 {
+		return aggSpec{}, false
+	}
+	arg, ok := rowc.compile(fc.Args[0])
+	if !ok {
+		return aggSpec{}, false
+	}
+	// A bare-column argument steps via a direct slot read, skipping the
+	// closure call per row.
+	slot := bareColSlot(rowc.sc, fc.Args[0])
+	switch fc.Name {
+	case "COUNT":
+		if fc.Distinct {
+			return aggSpec{newAcc: func() vAgg { return &cCountDistinctAcc{arg: arg, slot: slot, seen: map[string]bool{}} }}, true
+		}
+		return aggSpec{newAcc: func() vAgg { return &cCountAcc{arg: arg, slot: slot} }}, true
+	case "SUM":
+		return aggSpec{newAcc: func() vAgg { return &cSumAcc{arg: arg, slot: slot} }}, true
+	case "AVG":
+		return aggSpec{newAcc: func() vAgg { return &cAvgAcc{arg: arg, slot: slot} }}, true
+	case "MIN":
+		return aggSpec{newAcc: func() vAgg { return &cMinMaxAcc{arg: arg, slot: slot, min: true} }}, true
+	case "MAX":
+		return aggSpec{newAcc: func() vAgg { return &cMinMaxAcc{arg: arg, slot: slot} }}, true
+	}
+	return aggSpec{}, false
+}
+
+// compileSource lowers the FROM clause into a chain of scan and join
+// operators following the same join order and per-table access paths as the
+// interpreter (produceTuples).
+func (cp *compiledSelect) compileSource(rowc *exprCompiler) bool {
+	db, s, sc, params := cp.db, cp.s, cp.sc, cp.params
+	if len(s.From) == 0 {
+		cp.src = constSource{}
+		return true
+	}
+
+	conj := conjuncts(s.Where)
+	accesses := make([]access, len(sc.tabs))
+	for ti := range sc.tabs {
+		accesses[ti] = db.bestAccess(sc.tabs[ti].t, sc, ti, conj, params)
+	}
+	commaJoin := len(sc.tabs) > 1
+	for _, ref := range s.From {
+		if ref.JoinOn != nil {
+			commaJoin = false
+			break
+		}
+	}
+	order := joinOrder(s, accesses)
+	if commaJoin && len(s.OrderBy) == 0 {
+		// With no ORDER BY the result is order-insensitive, so the planner
+		// is free to pick hash-join build sides by cost: stream the most
+		// expensive access path and build hash tables over the cheaper ones.
+		// (With an ORDER BY we keep the interpreter's order so stable-sort
+		// ties break identically.)
+		seed := 0
+		for i, a := range accesses {
+			if a.cost > accesses[seed].cost {
+				seed = i
+			}
+		}
+		order = make([]int, 0, len(sc.tabs))
+		order = append(order, seed)
+		for i := range sc.tabs {
+			if i != seed {
+				order = append(order, i)
+			}
+		}
+	}
+
+	seed := order[0]
+	cp.seedAcc = accesses[seed]
+	cp.hasSeed = true
+	var src rowSource = &scanSource{t: sc.tabs[seed].t, acc: accesses[seed], ti: seed, ntabs: len(sc.tabs)}
+
+	placed := make([]bool, len(sc.tabs))
+	placed[seed] = true
+	for k := 1; k < len(order); k++ {
+		ti := order[k]
+		ref := s.From[ti]
+
+		keys, residual, ok := cp.joinKeys(rowc, ref.JoinOn, conj, ti, placed)
+		if !ok {
+			return false
+		}
+		if len(keys) > 0 {
+			src = &hashJoinSource{
+				db: db, inner: src, t: sc.tabs[ti].t, ti: ti, ntabs: len(sc.tabs),
+				acc: accesses[ti], keys: keys, residual: residual, params: params,
+			}
+		} else {
+			src = &loopJoinSource{
+				db: db, inner: src, t: sc.tabs[ti].t, ti: ti, ntabs: len(sc.tabs),
+				acc: accesses[ti], on: residual, params: params,
+			}
+		}
+		placed[ti] = true
+	}
+	cp.src = src
+	return true
+}
+
+// joinKeys extracts the multi-column equi-key for joining table ti: ON
+// conjuncts of the form `placed-expr = ti.col` (either orientation), plus —
+// exactly like the interpreter's whereProbe — equivalent WHERE conjuncts,
+// which for an inner join only prune pairs the final WHERE filter would
+// reject anyway. Remaining ON conjuncts (and, for a WHERE-derived key, the
+// full ON clause) become the residual filter evaluated on each joined
+// tuple. Reports ok=false when a piece fails to compile.
+func (cp *compiledSelect) joinKeys(rowc *exprCompiler, on sqlparser.Expr, whereConj []sqlparser.Expr, ti int, placed []bool) ([]joinKey, compiledExpr, bool) {
+	sc := cp.sc
+	var keys []joinKey
+	var residual []sqlparser.Expr
+
+	tryKey := func(pred sqlparser.Expr) (joinKey, bool) {
+		b, ok := pred.(*sqlparser.BinaryExpr)
+		if !ok || b.Op != "=" {
+			return joinKey{}, false
+		}
+		colOf := func(e sqlparser.Expr) (int, bool) {
+			cr, ok := e.(*sqlparser.ColRef)
+			if !ok {
+				return 0, false
+			}
+			cti, ci, err := sc.resolve(cr.Table, cr.Column)
+			if err != nil || cti != ti {
+				return 0, false
+			}
+			return ci, true
+		}
+		try := func(buildSide, probeSide sqlparser.Expr) (joinKey, bool) {
+			ci, ok := colOf(buildSide)
+			if !ok || !exprOverPlaced(sc, probeSide, placed) {
+				return joinKey{}, false
+			}
+			pe, ok := rowc.compile(probeSide)
+			if !ok {
+				return joinKey{}, false
+			}
+			return joinKey{probe: pe, buildPos: ci}, true
+		}
+		if k, ok := try(b.L, b.R); ok {
+			return k, true
+		}
+		return try(b.R, b.L)
+	}
+
+	for _, pred := range conjuncts(on) {
+		if k, ok := tryKey(pred); ok {
+			keys = append(keys, k)
+		} else {
+			residual = append(residual, pred)
+		}
+	}
+	if len(residual) > 0 && len(keys) == 0 && on != nil {
+		// No usable key in the ON clause: the loop join evaluates the whole
+		// clause, preserving the interpreter's left-to-right AND order.
+		residual = []sqlparser.Expr{on}
+	}
+	for _, pred := range whereConj {
+		if k, ok := tryKey(pred); ok {
+			keys = append(keys, k)
+			// The hash join enforces this equality on every emitted pair
+			// (by trusted key lookup or per-pair coercing comparison), so
+			// the WHERE filter need not re-evaluate it.
+			if cp.usedWhere == nil {
+				cp.usedWhere = make(map[sqlparser.Expr]bool)
+			}
+			cp.usedWhere[pred] = true
+		}
+	}
+
+	var resExpr compiledExpr
+	if len(residual) > 0 {
+		e := residual[0]
+		for _, r := range residual[1:] {
+			e = &sqlparser.BinaryExpr{Op: "AND", L: e, R: r}
+		}
+		re, ok := rowc.compile(e)
+		if !ok {
+			return nil, nil, false
+		}
+		resExpr = re
+	}
+	return keys, resExpr, true
+}
+
+// exprOverPlaced reports whether every column reference in e resolves to an
+// already-placed table, so the expression can be evaluated against the probe
+// stream. Unresolvable references disqualify the expression (the residual
+// filter then reproduces the interpreter's behavior for them).
+func exprOverPlaced(sc *scope, e sqlparser.Expr, placed []bool) bool {
+	switch x := e.(type) {
+	case nil:
+		return true
+	case *sqlparser.IntLit, *sqlparser.StrLit, *sqlparser.BytesLit,
+		*sqlparser.NullLit, *sqlparser.BoolLit, *sqlparser.Param:
+		return true
+	case *sqlparser.ColRef:
+		ti, _, err := sc.resolve(x.Table, x.Column)
+		return err == nil && placed[ti]
+	case *sqlparser.BinaryExpr:
+		return exprOverPlaced(sc, x.L, placed) && exprOverPlaced(sc, x.R, placed)
+	case *sqlparser.UnaryExpr:
+		return exprOverPlaced(sc, x.E, placed)
+	case *sqlparser.InExpr:
+		if !exprOverPlaced(sc, x.E, placed) {
+			return false
+		}
+		for _, item := range x.List {
+			if !exprOverPlaced(sc, item, placed) {
+				return false
+			}
+		}
+		return true
+	case *sqlparser.LikeExpr:
+		return exprOverPlaced(sc, x.E, placed) && exprOverPlaced(sc, x.Pattern, placed)
+	case *sqlparser.BetweenExpr:
+		return exprOverPlaced(sc, x.E, placed) && exprOverPlaced(sc, x.Lo, placed) && exprOverPlaced(sc, x.Hi, placed)
+	case *sqlparser.IsNullExpr:
+		return exprOverPlaced(sc, x.E, placed)
+	case *sqlparser.FuncCall:
+		for _, a := range x.Args {
+			if !exprOverPlaced(sc, a, placed) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

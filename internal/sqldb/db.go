@@ -82,18 +82,37 @@ type DB struct {
 
 	// Planner counters (atomics; see PlanCounters).
 	fullScans, eqScans, rangeScans, orderedScans, minMaxFast int64
+	compiledSel, interpSel, hashJoins, nestedLoops, joinDegraded int64
+
+	// noCompile disables the compiled execution pipeline (exec.go) when
+	// non-zero, forcing every SELECT through the AST interpreter. Tests use
+	// it to run the interpreter as an oracle against the compiled path.
+	noCompile int32
 }
 
 // PlanCounters tallies the scan planner's access-path decisions: how many
 // statements seeded from a full scan, a hash-index equality lookup, or an
 // ordered-index range scan, and how many SELECTs were answered in index
-// order (ORDER BY ... LIMIT) or from index endpoints (MIN/MAX).
+// order (ORDER BY ... LIMIT) or from index endpoints (MIN/MAX). It also
+// tallies the execution layer's choices: SELECTs lowered into the compiled
+// operator pipeline vs. interpreted over the AST, hash-join vs. nested-loop
+// operators, joins whose multi-column equi key the interpreter degraded to
+// a single-column probe, and (summed in by a sharded store) GROUP BYs
+// executed per-shard with partial-aggregate recombination.
 type PlanCounters struct {
 	FullScans    int64
 	EqScans      int64
 	RangeScans   int64
 	OrderedScans int64
 	MinMaxIndex  int64
+	Compiled     int64
+	Interpreted  int64
+	HashJoins    int64
+	NestedLoops  int64
+	DegradedJoins int64
+	// GroupPushdowns is always zero at the sqldb level; a sharded store
+	// counts its scatter GROUP BY decompositions here when summing.
+	GroupPushdowns int64
 }
 
 // PlanCounters returns a snapshot of the planner's access-path tallies.
@@ -104,8 +123,35 @@ func (db *DB) PlanCounters() PlanCounters {
 		RangeScans:   atomic.LoadInt64(&db.rangeScans),
 		OrderedScans: atomic.LoadInt64(&db.orderedScans),
 		MinMaxIndex:  atomic.LoadInt64(&db.minMaxFast),
+		Compiled:     atomic.LoadInt64(&db.compiledSel),
+		Interpreted:  atomic.LoadInt64(&db.interpSel),
+		HashJoins:    atomic.LoadInt64(&db.hashJoins),
+		NestedLoops:  atomic.LoadInt64(&db.nestedLoops),
+		DegradedJoins: atomic.LoadInt64(&db.joinDegraded),
 	}
 }
+
+// SetCompiledExec enables or disables the compiled execution pipeline.
+// Enabled by default; disabling forces every SELECT through the AST
+// interpreter, which equivalence tests use as the oracle. Safe to call
+// concurrently with running statements.
+func (db *DB) SetCompiledExec(on bool) {
+	var v int32
+	if !on {
+		v = 1
+	}
+	atomic.StoreInt32(&db.noCompile, v)
+}
+
+func (db *DB) compiledExecEnabled() bool {
+	return atomic.LoadInt32(&db.noCompile) == 0
+}
+
+// CompiledExecEnabled reports whether the compiled pipeline is active.
+// Storage layers that spin up transient databases (the sharded store's
+// gather fallback) propagate the setting so a disabled pipeline stays
+// disabled end-to-end.
+func (db *DB) CompiledExecEnabled() bool { return db.compiledExecEnabled() }
 
 // BusyNanos reports cumulative statement execution time.
 func (db *DB) BusyNanos() int64 { return atomic.LoadInt64(&db.busyNanos) }

@@ -344,6 +344,17 @@ func (t *Table) updateCellUnchecked(slot, pos int, v Value) {
 	row[pos] = v
 }
 
+// indexByPos returns the hash index over the column at pos, if any. The
+// compiled hash join uses it as a prebuilt build table.
+func (t *Table) indexByPos(pos int) *hashIndex {
+	for _, idx := range t.indexes {
+		if idx.pos == pos {
+			return idx
+		}
+	}
+	return nil
+}
+
 // lookup returns the row slots whose indexed column equals v. ok=false when
 // no index exists or when the stored kinds could coerce against v in ways a
 // key lookup cannot see — the caller must then fall back to a scan, which

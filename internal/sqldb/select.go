@@ -43,6 +43,18 @@ func (db *DB) execSelect(s *sqlparser.SelectStmt, params []Value) (*Result, erro
 		}
 	}
 
+	// General path: lower the plan into the compiled operator pipeline
+	// (compile.go / exec.go) when every piece is within the compiler's
+	// coverage, else interpret the AST row by row. The index fast paths
+	// above count separately (orderedScans / minMaxFast).
+	if db.compiledExecEnabled() {
+		if cp, ok := db.compileSelect(s, sc, aggCalls, params); ok {
+			atomic.AddInt64(&db.compiledSel, 1)
+			return cp.run()
+		}
+	}
+	atomic.AddInt64(&db.interpSel, 1)
+
 	tuples, err := db.produceTuples(s, sc, params)
 	if err != nil {
 		return nil, err
@@ -288,12 +300,19 @@ func (db *DB) produceTuples(s *sqlparser.SelectStmt, sc *scope, params []Value) 
 		ref := s.From[ti]
 		st := sc.tabs[ti]
 
-		// A probe comes from the ON clause (`earlier.col = new.col`) or,
+		// A probe comes from an ON conjunct (`earlier.col = new.col`) or,
 		// for comma joins, from an equivalent WHERE conjunct. When the
-		// probe is the ON clause itself the probed rows already satisfy
-		// it; a WHERE-derived probe still needs the ON filter applied.
-		probe, probeCol, probeOK := db.joinProbe(ref.JoinOn, sc, ti)
-		probeIsOn := probeOK
+		// probe is the entire ON clause the probed rows already satisfy
+		// it; otherwise the full ON filter is applied to each match.
+		onConj := conjuncts(ref.JoinOn)
+		probe, probeCol, probeOK, equi := db.joinProbe(onConj, sc, ti)
+		probeIsOn := probeOK && len(onConj) == 1
+		if probeOK && equi > 1 {
+			// The interpreter probes a single column of a multi-column equi
+			// key and filters the rest per pair; the compiled hash join
+			// (exec.go) uses the full key. Count the degradation.
+			atomic.AddInt64(&db.joinDegraded, 1)
+		}
 		if !probeOK {
 			probe, probeCol, probeOK = db.whereProbe(conj, sc, ti, placed)
 		}
@@ -412,14 +431,17 @@ func isConstant(e sqlparser.Expr) bool {
 	return false
 }
 
-// joinProbe recognizes an ON clause of the form `earlier.col = new.col`
-// where new.col is indexed, returning the expression to evaluate against
-// earlier tables and the probe column on the new table.
-func (db *DB) joinProbe(on sqlparser.Expr, sc *scope, ti int) (sqlparser.Expr, string, bool) {
-	b, ok := on.(*sqlparser.BinaryExpr)
-	if !ok || b.Op != "=" {
-		return nil, "", false
-	}
+// joinProbe scans the ON conjuncts for equalities of the form
+// `earlier.col = new.col` and returns the first whose new-table side is
+// indexed: the expression to evaluate against earlier tables, the probe
+// column on the new table, and the total number of equi conjuncts found —
+// so the caller can tell when a multi-column equi key degraded to a
+// single-column probe (the compiled hash join uses the full key).
+func (db *DB) joinProbe(onConj []sqlparser.Expr, sc *scope, ti int) (sqlparser.Expr, string, bool, int) {
+	var probe sqlparser.Expr
+	var probeCol string
+	found, equi := false, 0
+	newTable := sc.tabs[ti].t
 	side := func(e sqlparser.Expr) (int, string, bool) {
 		cr, ok := e.(*sqlparser.ColRef)
 		if !ok {
@@ -431,23 +453,34 @@ func (db *DB) joinProbe(on sqlparser.Expr, sc *scope, ti int) (sqlparser.Expr, s
 		}
 		return cti, cr.Column, true
 	}
-	lt, lc, lok := side(b.L)
-	rt, rc, rok := side(b.R)
-	if !lok || !rok {
-		return nil, "", false
-	}
-	newTable := sc.tabs[ti].t
-	switch {
-	case lt == ti && rt < ti:
-		if _, has := newTable.indexes[lc]; has {
-			return b.R, lc, true
+	for _, pred := range onConj {
+		b, ok := pred.(*sqlparser.BinaryExpr)
+		if !ok || b.Op != "=" {
+			continue
 		}
-	case rt == ti && lt < ti:
-		if _, has := newTable.indexes[rc]; has {
-			return b.L, rc, true
+		lt, lc, lok := side(b.L)
+		rt, rc, rok := side(b.R)
+		if !lok || !rok {
+			continue
+		}
+		switch {
+		case lt == ti && rt < ti:
+			equi++
+			if !found {
+				if _, has := newTable.indexes[lc]; has {
+					probe, probeCol, found = b.R, lc, true
+				}
+			}
+		case rt == ti && lt < ti:
+			equi++
+			if !found {
+				if _, has := newTable.indexes[rc]; has {
+					probe, probeCol, found = b.L, rc, true
+				}
+			}
 		}
 	}
-	return nil, "", false
+	return probe, probeCol, found, equi
 }
 
 //

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sqlparser"
@@ -345,9 +346,10 @@ func (txn *Txn) buildMerged(t *Table, tt *txnTable) (*Table, map[int]*txnRow) {
 // pieces (UDF registries) are aliased, not copied. Callers hold db.mu.
 func (txn *Txn) viewDB() *DB {
 	view := &DB{
-		tables:  make(map[string]*Table, len(txn.db.tables)),
-		udfs:    txn.db.udfs,
-		aggUDFs: txn.db.aggUDFs,
+		tables:    make(map[string]*Table, len(txn.db.tables)),
+		udfs:      txn.db.udfs,
+		aggUDFs:   txn.db.aggUDFs,
+		noCompile: atomic.LoadInt32(&txn.db.noCompile),
 	}
 	for name, t := range txn.db.tables {
 		if tt := txn.tables[name]; tt != nil && (len(tt.mods) > 0 || len(tt.ins) > 0) {

@@ -173,6 +173,27 @@ func (v Value) Key() string {
 // sorts before everything and kinds are segregated by a leading tag in Kind
 // order, matching compareForSort's kind-first fallback. Ordered indexes key
 // their entries with it.
+// appendKey appends the Key() encoding to buf without the per-call string
+// allocation; the compiled executor uses it on its hashing hot paths.
+func (v Value) appendKey(buf []byte) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(buf, 0)
+	case KindInt:
+		var b [9]byte
+		b[0] = 1
+		binary.BigEndian.PutUint64(b[1:], uint64(v.I))
+		return append(buf, b[:]...)
+	case KindText:
+		buf = append(buf, 2)
+		return append(buf, v.S...)
+	case KindBlob:
+		buf = append(buf, 3)
+		return append(buf, v.B...)
+	}
+	return append(buf, 0xff)
+}
+
 func (v Value) OrdKey() string {
 	switch v.Kind {
 	case KindNull:

@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fsutil"
 	"repro/internal/sqldb"
@@ -62,6 +63,12 @@ type manifest struct {
 type Engine struct {
 	dir    string
 	shards []*sqldb.DB
+
+	// groupPushdowns counts GROUP BY queries the scatter planner executed
+	// as per-shard grouped aggregation with partial recombination at the
+	// gather (as opposed to the transient-gather fallback). Engine-level
+	// because the decision is made here, not in any one shard's planner.
+	groupPushdowns int64
 
 	// metaMu serializes metadata-carrying commits so the sequence
 	// envelope order matches WAL order on every shard.
@@ -856,6 +863,12 @@ func (e *Engine) Stats() store.Stats {
 		out.Plan.RangeScans += pc.RangeScans
 		out.Plan.OrderedScans += pc.OrderedScans
 		out.Plan.MinMaxIndex += pc.MinMaxIndex
+		out.Plan.Compiled += pc.Compiled
+		out.Plan.Interpreted += pc.Interpreted
+		out.Plan.HashJoins += pc.HashJoins
+		out.Plan.NestedLoops += pc.NestedLoops
+		out.Plan.DegradedJoins += pc.DegradedJoins
+		out.Plan.GroupPushdowns += pc.GroupPushdowns
 		ws := sh.WALStats()
 		out.WAL.Batches += ws.Batches
 		out.WAL.Bytes += ws.Bytes
@@ -864,6 +877,7 @@ func (e *Engine) Stats() store.Stats {
 		out.SizeBytes += sh.SizeBytes()
 		out.BusyNanos += sh.BusyNanos()
 	}
+	out.Plan.GroupPushdowns += atomic.LoadInt64(&e.groupPushdowns)
 	return out
 }
 

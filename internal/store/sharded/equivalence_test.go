@@ -25,6 +25,98 @@ func TestCrossShardEquivalence(t *testing.T) {
 	}
 }
 
+// TestCrossShardEquivalenceInterpreted repeats the workload with the
+// compiled pipeline disabled on every node: the interpreter must produce
+// the same rows through the same scatter plans.
+func TestCrossShardEquivalenceInterpreted(t *testing.T) {
+	refDB := sqldb.New()
+	refDB.SetCompiledExec(false)
+	dut := New(3)
+	for i := 0; i < 3; i++ {
+		dut.Shard(i).SetCompiledExec(false)
+	}
+	runEquivalence(t, single.New(refDB), dut)
+	pc := dut.Stats().Plan
+	if pc.Compiled != 0 {
+		t.Fatalf("compiled pipeline ran with SetCompiledExec(false): %+v", pc)
+	}
+	if pc.Interpreted == 0 || pc.GroupPushdowns == 0 {
+		t.Fatalf("workload did not exercise interpreter + grouped scatter: %+v", pc)
+	}
+}
+
+// TestCrossShardCompiledVsInterpreted pits a compiled sharded engine
+// against an interpreted one on the full workload — the cross-executor,
+// cross-topology equivalence the compiled pipeline must hold — and checks
+// the counters prove which path each arm took.
+func TestCrossShardCompiledVsInterpreted(t *testing.T) {
+	ref := New(3)
+	for i := 0; i < 3; i++ {
+		ref.Shard(i).SetCompiledExec(false)
+	}
+	dut := New(3)
+	runEquivalence(t, ref, dut)
+
+	pc := dut.Stats().Plan
+	if pc.Compiled == 0 {
+		t.Fatalf("compiled arm never compiled: %+v", pc)
+	}
+	if pc.GroupPushdowns == 0 {
+		t.Fatalf("no GROUP BY was pushed down per shard: %+v", pc)
+	}
+	if rc := ref.Stats().Plan; rc.Compiled != 0 || rc.Interpreted == 0 {
+		t.Fatalf("interpreted arm not interpreted: %+v", rc)
+	}
+}
+
+// TestScatterPostMergeShapes proves the generalized scatter planner keeps
+// the new shapes — expressions over aggregates, AVG in HAVING/ORDER BY —
+// on the per-shard pushdown path: GroupPushdowns must advance once per
+// grouped query, meaning none of them fell back to the transient gather.
+func TestScatterPostMergeShapes(t *testing.T) {
+	eng := New(4)
+	ref := single.New(sqldb.New())
+	for _, sql := range []string{
+		"CREATE TABLE m (id INT PRIMARY KEY, g TEXT, v INT)",
+	} {
+		if _, err := eng.ExecSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.ExecSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		g := fmt.Sprintf("g%d", i%5)
+		for _, e := range []store.Engine{eng, ref} {
+			if _, err := e.ExecSQL("INSERT INTO m (id, g, v) VALUES (?, ?, ?)",
+				sqldb.Int(int64(i)), sqldb.Text(g), sqldb.Int(int64(i%37))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	grouped := []string{
+		"SELECT g, SUM(v) + COUNT(*) * 10 FROM m GROUP BY g",
+		"SELECT g, AVG(v) FROM m GROUP BY g HAVING AVG(v) >= 17 ORDER BY AVG(v) DESC, g",
+		"SELECT g, -SUM(v) AS neg FROM m GROUP BY g ORDER BY neg, g",
+		"SELECT g FROM m GROUP BY g HAVING SUM(v) - AVG(v) > 100 ORDER BY g",
+	}
+	for _, sql := range grouped {
+		r1, err := ref.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		r2, err := eng.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: sharded: %v", sql, err)
+		}
+		compareResults(t, sql, r1, r2, false)
+	}
+	if got := eng.Stats().Plan.GroupPushdowns; got != int64(len(grouped)) {
+		t.Fatalf("GroupPushdowns = %d, want %d (a shape fell back to gather)", got, len(grouped))
+	}
+}
+
 func runEquivalence(t *testing.T, ref, dut store.Engine) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(0xC0FFEE))
@@ -91,6 +183,12 @@ func runEquivalence(t *testing.T, ref, dut store.Engine) {
 		checkQuery("SELECT DISTINCT grp FROM t ORDER BY val, id LIMIT 2", true)
 		checkQuery("SELECT grp, COUNT(*), SUM(val) FROM t GROUP BY grp", false)
 		checkQuery("SELECT grp, COUNT(*) AS c FROM t GROUP BY grp HAVING COUNT(*) > 2 ORDER BY c DESC, grp LIMIT 3", true)
+		// Post-merge shapes: expressions over aggregates, and AVG outside
+		// the select list (both decompose per shard, recombine at gather).
+		checkQuery("SELECT grp, SUM(val) + COUNT(*) FROM t GROUP BY grp", false)
+		checkQuery("SELECT grp, SUM(val) * 2 AS s2 FROM t GROUP BY grp ORDER BY SUM(val) DESC, grp LIMIT 3", true)
+		checkQuery("SELECT grp, AVG(val) AS a FROM t GROUP BY grp HAVING AVG(val) > 200 ORDER BY a DESC, grp", true)
+		checkQuery("SELECT grp, AVG(val) - 1 FROM t GROUP BY grp HAVING SUM(val) + COUNT(*) > 20", false)
 		checkQuery("SELECT COUNT(*) FROM t WHERE grp = ?", true, sqldb.Text(groups[rng.Intn(len(groups))]))
 		// Cross-shard join: exercises the gather fallback.
 		checkQuery("SELECT t.id, t2.id FROM t, t2 WHERE t.id = t2.ref", false)

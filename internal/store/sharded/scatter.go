@@ -11,12 +11,13 @@
 //     MIN/MAX compare, AVG decomposes into per-shard SUM+COUNT, and
 //     aggregate UDFs (hom_sum) re-apply over partials — for Paillier a
 //     product of partial products, which is §3.1's server-side SUM spread
-//     over shards. GROUP BY merges groups by key; HAVING and ORDER BY
-//     evaluate post-merge on combined values.
+//     over shards. GROUP BY merges groups by key; HAVING, ORDER BY and
+//     select-list expressions over aggregates evaluate post-merge on
+//     combined values (AVG anywhere decomposes into hidden SUM+COUNT
+//     columns and finalizes at the gather).
 //   - Anything the planner cannot prove correct (joins across shards,
-//     COUNT(DISTINCT), expressions over aggregates) gathers the referenced
-//     tables into a transient in-memory sqldb and executes there: slower,
-//     never wrong.
+//     COUNT(DISTINCT)) gathers the referenced tables into a transient
+//     in-memory sqldb and executes there: slower, never wrong.
 //
 // Reads take no cross-shard snapshot: per-shard results reflect each
 // shard's committed state at its own read time, the same read-committed
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sqldb"
 	"repro/internal/sqlparser"
@@ -330,10 +332,11 @@ type aggCol struct {
 // aggOut maps one output column of the original query onto merged columns.
 type aggOut struct {
 	name string
-	src  int // merged column (plain value or combined aggregate)
-	sum  int // outAvg: per-shard SUM column
-	cnt  int // outAvg: per-shard COUNT column
+	src  int      // merged column (plain value or combined aggregate)
+	sum  int      // avg: per-shard SUM column
+	cnt  int      // avg: per-shard COUNT column
 	avg  bool
+	post *postRef // expression over aggregates, evaluated post-merge
 }
 
 type postRef struct {
@@ -345,6 +348,9 @@ type refBinding struct {
 	key string // FuncCall.String() or ColRef.String()
 	agg bool
 	idx int
+	avg bool // AVG: finalize sum/cnt instead of reading idx
+	sum int
+	cnt int
 }
 
 type aggPlan struct {
@@ -362,6 +368,7 @@ type aggPlan struct {
 type postOrder struct {
 	idx  int
 	avg  *aggOut
+	ref  *postRef // aggregate expression evaluated post-merge
 	desc bool
 }
 
@@ -412,59 +419,21 @@ func (e *Engine) planAgg(s *sqlparser.SelectStmt) (*aggPlan, bool) {
 		return aggCol{}, false
 	}
 
-	// Output columns.
-	for _, se := range s.Exprs {
-		if se.Star {
-			return nil, false
+	// addAvg appends the hidden SUM+COUNT pair an AVG decomposes into.
+	addAvg := func(fc *sqlparser.FuncCall) (sumIdx, cntIdx int, ok bool) {
+		if fc.Star || fc.Distinct || len(fc.Args) != 1 {
+			return 0, 0, false
 		}
-		if cr, ok := se.Expr.(*sqlparser.ColRef); ok && cr.Column == "*" {
-			return nil, false
-		}
-		name := se.Alias
-		if name == "" {
-			if cr, ok := se.Expr.(*sqlparser.ColRef); ok {
-				name = cr.Column
-			} else {
-				name = se.Expr.String()
-			}
-		}
-		if fc, ok := se.Expr.(*sqlparser.FuncCall); ok && e.isAgg(fc.Name) {
-			if fc.Name == "AVG" {
-				if fc.Star || fc.Distinct || len(fc.Args) != 1 {
-					return nil, false
-				}
-				sumIdx := addItem(sqlparser.SelectExpr{Expr: &sqlparser.FuncCall{Name: "SUM", Args: fc.Args}}, aggCol{kind: outSum})
-				cntIdx := addItem(sqlparser.SelectExpr{Expr: &sqlparser.FuncCall{Name: "COUNT", Args: fc.Args}}, aggCol{kind: outCount})
-				plan.outs = append(plan.outs, aggOut{name: name, avg: true, sum: sumIdx, cnt: cntIdx})
-				continue
-			}
-			col, ok := aggColFor(fc)
-			if !ok {
-				return nil, false
-			}
-			idx := addItem(sqlparser.SelectExpr{Expr: se.Expr, Alias: se.Alias}, col)
-			plan.outs = append(plan.outs, aggOut{name: name, src: idx})
-			continue
-		}
-		if e.containsAgg(se.Expr) {
-			return nil, false // expressions over aggregates need all rows
-		}
-		idx := addItem(sqlparser.SelectExpr{Expr: se.Expr, Alias: se.Alias}, aggCol{kind: outPlain})
-		plan.outs = append(plan.outs, aggOut{name: name, src: idx})
+		sumIdx = addItem(sqlparser.SelectExpr{Expr: &sqlparser.FuncCall{Name: "SUM", Args: fc.Args}}, aggCol{kind: outSum})
+		cntIdx = addItem(sqlparser.SelectExpr{Expr: &sqlparser.FuncCall{Name: "COUNT", Args: fc.Args}}, aggCol{kind: outCount})
+		return sumIdx, cntIdx, true
 	}
 
-	// Group identity: every GROUP BY expression must be a merged column.
-	for _, g := range s.GroupBy {
-		if e.containsAgg(g) {
-			return nil, false
-		}
-		idx := addItem(sqlparser.SelectExpr{Expr: g}, aggCol{kind: outPlain})
-		plan.groupIdx = append(plan.groupIdx, idx)
-	}
-
-	// resolveRef binds HAVING / ORDER BY subexpressions to merged columns,
-	// appending hidden aggregate columns as needed. ok=false on anything
-	// unresolvable (unknown function, column not grouped/projected).
+	// resolve binds a HAVING / ORDER BY / select-list subexpression to
+	// merged columns, appending hidden aggregate columns as needed (AVG
+	// becomes a hidden SUM+COUNT pair finalized at the gather). ok=false on
+	// anything unresolvable (unknown function, column not
+	// grouped/projected).
 	var resolve func(ex sqlparser.Expr, refs *[]refBinding) bool
 	resolve = func(ex sqlparser.Expr, refs *[]refBinding) bool {
 		switch x := ex.(type) {
@@ -473,7 +442,12 @@ func (e *Engine) planAgg(s *sqlparser.SelectStmt) (*aggPlan, bool) {
 				return false
 			}
 			if x.Name == "AVG" {
-				return false // keep the fallback for AVG in HAVING/ORDER BY
+				sumIdx, cntIdx, ok := addAvg(x)
+				if !ok {
+					return false
+				}
+				*refs = append(*refs, refBinding{key: x.String(), agg: true, avg: true, sum: sumIdx, cnt: cntIdx})
+				return true
 			}
 			col, ok := aggColFor(x)
 			if !ok {
@@ -486,12 +460,16 @@ func (e *Engine) planAgg(s *sqlparser.SelectStmt) (*aggPlan, bool) {
 			// Select-list alias?
 			if x.Table == "" {
 				for i, se := range s.Exprs {
-					if !se.Star && se.Alias == x.Column {
+					if !se.Star && se.Alias == x.Column && i < len(plan.outs) {
 						out := plan.outs[i]
-						if out.avg {
+						if out.post != nil {
 							return false
 						}
-						*refs = append(*refs, refBinding{key: x.String(), idx: out.src})
+						if out.avg {
+							*refs = append(*refs, refBinding{key: x.String(), agg: true, avg: true, sum: out.sum, cnt: out.cnt})
+						} else {
+							*refs = append(*refs, refBinding{key: x.String(), idx: out.src})
+						}
 						return true
 					}
 				}
@@ -515,6 +493,62 @@ func (e *Engine) planAgg(s *sqlparser.SelectStmt) (*aggPlan, bool) {
 		return false
 	}
 
+	// Output columns.
+	for _, se := range s.Exprs {
+		if se.Star {
+			return nil, false
+		}
+		if cr, ok := se.Expr.(*sqlparser.ColRef); ok && cr.Column == "*" {
+			return nil, false
+		}
+		name := se.Alias
+		if name == "" {
+			if cr, ok := se.Expr.(*sqlparser.ColRef); ok {
+				name = cr.Column
+			} else {
+				name = se.Expr.String()
+			}
+		}
+		if fc, ok := se.Expr.(*sqlparser.FuncCall); ok && e.isAgg(fc.Name) {
+			if fc.Name == "AVG" {
+				sumIdx, cntIdx, ok := addAvg(fc)
+				if !ok {
+					return nil, false
+				}
+				plan.outs = append(plan.outs, aggOut{name: name, avg: true, sum: sumIdx, cnt: cntIdx})
+				continue
+			}
+			col, ok := aggColFor(fc)
+			if !ok {
+				return nil, false
+			}
+			idx := addItem(sqlparser.SelectExpr{Expr: se.Expr, Alias: se.Alias}, col)
+			plan.outs = append(plan.outs, aggOut{name: name, src: idx})
+			continue
+		}
+		if e.containsAgg(se.Expr) {
+			// Expression over aggregates: bind every aggregate call and
+			// column to merged columns, evaluate the expression post-merge.
+			ref := &postRef{expr: se.Expr}
+			if !resolve(se.Expr, &ref.idx) {
+				return nil, false
+			}
+			plan.outs = append(plan.outs, aggOut{name: name, post: ref})
+			continue
+		}
+		idx := addItem(sqlparser.SelectExpr{Expr: se.Expr, Alias: se.Alias}, aggCol{kind: outPlain})
+		plan.outs = append(plan.outs, aggOut{name: name, src: idx})
+	}
+
+	// Group identity: every GROUP BY expression must be a merged column.
+	for _, g := range s.GroupBy {
+		if e.containsAgg(g) {
+			return nil, false
+		}
+		idx := addItem(sqlparser.SelectExpr{Expr: g}, aggCol{kind: outPlain})
+		plan.groupIdx = append(plan.groupIdx, idx)
+	}
+
 	if s.Having != nil {
 		ref := &postRef{expr: s.Having}
 		if !resolve(s.Having, &ref.idx) {
@@ -523,28 +557,24 @@ func (e *Engine) planAgg(s *sqlparser.SelectStmt) (*aggPlan, bool) {
 		plan.having = ref
 	}
 	for _, o := range s.OrderBy {
-		// ORDER BY over merged values: an aggregate call, an alias, or a
-		// grouped/projected column.
-		if fc, ok := o.Expr.(*sqlparser.FuncCall); ok && e.isAgg(fc.Name) {
-			if fc.Name == "AVG" {
-				return nil, false
-			}
-			col, okc := aggColFor(fc)
-			if !okc {
-				return nil, false
-			}
-			idx := addItem(sqlparser.SelectExpr{Expr: fc}, col)
-			plan.orderBy = append(plan.orderBy, postOrder{idx: idx, desc: o.Desc})
-			continue
-		}
+		// ORDER BY over merged values: an aggregate expression, an alias,
+		// or a grouped/projected column.
 		if e.containsAgg(o.Expr) {
-			return nil, false
+			ref := &postRef{expr: o.Expr}
+			if !resolve(o.Expr, &ref.idx) {
+				return nil, false
+			}
+			plan.orderBy = append(plan.orderBy, postOrder{ref: ref, desc: o.Desc})
+			continue
 		}
 		if cr, ok := o.Expr.(*sqlparser.ColRef); ok && cr.Table == "" {
 			if i := aliasOut(s, plan, cr.Column); i != nil {
-				if i.avg {
+				switch {
+				case i.post != nil:
+					plan.orderBy = append(plan.orderBy, postOrder{ref: i.post, desc: o.Desc})
+				case i.avg:
 					plan.orderBy = append(plan.orderBy, postOrder{avg: i, desc: o.Desc})
-				} else {
+				default:
 					plan.orderBy = append(plan.orderBy, postOrder{idx: i.src, desc: o.Desc})
 				}
 				continue
@@ -590,6 +620,9 @@ type mergedGroup struct {
 }
 
 func (c *Conn) runAgg(plan *aggPlan, params []sqldb.Value) (*sqldb.Result, error) {
+	if len(plan.groupIdx) > 0 {
+		atomic.AddInt64(&c.eng.groupPushdowns, 1)
+	}
 	results, err := c.scatter(plan.perShard, params)
 	if err != nil {
 		return nil, err
@@ -658,7 +691,9 @@ func (c *Conn) runAgg(plan *aggPlan, params []sqldb.Value) (*sqldb.Result, error
 	}
 
 	if len(plan.orderBy) > 0 {
-		sortMerged(rows, plan.orderBy)
+		if err := sortMerged(rows, plan.orderBy, params); err != nil {
+			return nil, err
+		}
 	}
 
 	out := &sqldb.Result{}
@@ -668,9 +703,16 @@ func (c *Conn) runAgg(plan *aggPlan, params []sqldb.Value) (*sqldb.Result, error
 	for _, row := range rows {
 		final := make([]sqldb.Value, len(plan.outs))
 		for i, o := range plan.outs {
-			if o.avg {
+			switch {
+			case o.post != nil:
+				v, err := evalPost(o.post, row, params)
+				if err != nil {
+					return nil, err
+				}
+				final[i] = v
+			case o.avg:
 				final[i] = avgFinal(row[o.sum], row[o.cnt])
-			} else {
+			default:
 				final[i] = row[o.src]
 			}
 		}
@@ -743,12 +785,17 @@ func avgFinal(sum, cnt sqldb.Value) sqldb.Value {
 	return sqldb.Int(s / n)
 }
 
-// evalPost evaluates a HAVING expression against a merged row by
-// substituting its bound references with literals.
+// evalPost evaluates a HAVING / select-list / ORDER BY expression against
+// a merged row by substituting its bound references with literals. AVG
+// bindings finalize their hidden SUM+COUNT pair here.
 func evalPost(ref *postRef, row []sqldb.Value, params []sqldb.Value) (sqldb.Value, error) {
 	bind := make(map[string]sqldb.Value, len(ref.idx))
 	for _, b := range ref.idx {
-		bind[b.key] = row[b.idx]
+		if b.avg {
+			bind[b.key] = avgFinal(row[b.sum], row[b.cnt])
+		} else {
+			bind[b.key] = row[b.idx]
+		}
 	}
 	sub := substitute(ref.expr, bind)
 	return sqldb.EvalConst(sub, params)
@@ -772,18 +819,36 @@ func substitute(ex sqlparser.Expr, bind map[string]sqldb.Value) sqlparser.Expr {
 	return ex
 }
 
-func sortMerged(rows [][]sqldb.Value, keys []postOrder) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
-		for _, k := range keys {
-			var va, vb sqldb.Value
-			if k.avg != nil {
-				va = avgFinal(a[k.avg.sum], a[k.avg.cnt])
-				vb = avgFinal(b[k.avg.sum], b[k.avg.cnt])
-			} else {
-				va, vb = a[k.idx], b[k.idx]
+func sortMerged(rows [][]sqldb.Value, keys []postOrder, params []sqldb.Value) error {
+	// Materialize the key values first: post-merge expressions can fail,
+	// and sort comparators cannot return errors.
+	keyVals := make([][]sqldb.Value, len(rows))
+	for i, row := range rows {
+		ks := make([]sqldb.Value, len(keys))
+		for j, k := range keys {
+			switch {
+			case k.ref != nil:
+				v, err := evalPost(k.ref, row, params)
+				if err != nil {
+					return err
+				}
+				ks[j] = v
+			case k.avg != nil:
+				ks[j] = avgFinal(row[k.avg.sum], row[k.avg.cnt])
+			default:
+				ks[j] = row[k.idx]
 			}
-			cmp := sqldb.SortCompare(va, vb)
+		}
+		keyVals[i] = ks
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := keyVals[idx[i]], keyVals[idx[j]]
+		for kI, k := range keys {
+			cmp := sqldb.SortCompare(a[kI], b[kI])
 			if cmp == 0 {
 				continue
 			}
@@ -794,6 +859,12 @@ func sortMerged(rows [][]sqldb.Value, keys []postOrder) {
 		}
 		return false
 	})
+	sorted := make([][]sqldb.Value, len(rows))
+	for i, p := range idx {
+		sorted[i] = rows[p]
+	}
+	copy(rows, sorted)
+	return nil
 }
 
 //
@@ -809,6 +880,9 @@ func sortMerged(rows [][]sqldb.Value, keys []postOrder) {
 func (c *Conn) gatherExec(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqldb.Result, error) {
 	e := c.eng
 	tmp := sqldb.New()
+	// Inherit the compiled-exec setting so an interpreted configuration
+	// stays interpreted through the fallback too.
+	tmp.SetCompiledExec(e.shards[0].CompiledExecEnabled())
 	e.udfMu.RLock()
 	for name, fn := range e.udfs {
 		tmp.RegisterUDF(name, fn)
@@ -859,6 +933,24 @@ func (c *Conn) gatherExec(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqldb
 		if len(ins.Rows) > 0 {
 			if _, err := tmp.Exec(ins); err != nil {
 				return nil, err
+			}
+		}
+		// Recreate the shard tables' indexes (after the bulk load, so they
+		// build in one pass): a central join or grouped scan over the
+		// gathered copy probes and prunes the same way it would per shard,
+		// instead of degrading to nested loops. Uniqueness is still not
+		// re-checked, per the note above.
+		if t := e.shards[0].Table(ref.Table); t != nil {
+			for _, ix := range t.Indexes() {
+				using := "HASH"
+				if ix.Ordered {
+					using = "BTREE"
+				}
+				ddl := fmt.Sprintf("CREATE INDEX gather_%s_%s ON %s (%s) USING %s",
+					ref.Table, ix.Column, ref.Table, ix.Column, using)
+				if _, err := tmp.ExecSQL(ddl); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
