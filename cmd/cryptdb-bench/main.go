@@ -50,9 +50,10 @@ var figures = map[string]func() error{
 	"groupcommit": figGroupCommit,
 	"shardscale":  figShardScale,
 	"joins":       figJoins,
+	"replication": figReplication,
 }
 
-var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit", "shardscale", "joins"}
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit", "shardscale", "joins", "replication"}
 
 func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, durability, groupcommit, shardscale, joins, all)")

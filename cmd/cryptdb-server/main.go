@@ -13,6 +13,7 @@
 //
 //	cryptdb-server [-addr :7432] [-multi] [-data-dir DIR] [-shards N]
 //	               [-wal-nofsync] [-checkpoint-mb N] [-max-sessions N]
+//	               [-replicate-to ADDR] [-replica-of ADDR]
 //
 // Each TCP connection gets its own proxy session: BEGIN/COMMIT/ROLLBACK
 // scope to the connection that issued them, concurrent connections hold
@@ -43,6 +44,17 @@
 // (recorded in DIR/sharded.json); reopening with a different -shards fails
 // rather than misroute rows.
 //
+// With -replicate-to ADDR the server additionally listens on ADDR for
+// replication followers and ships every shard's write-ahead log to them
+// asynchronously (commits never wait on a follower). With -replica-of ADDR
+// the server is a read-only follower of the primary at ADDR: it mirrors
+// the primary's topology (probed over the wire), replays its WAL stream —
+// sealed proxy metadata included — and serves SELECTs against the replayed
+// ciphertext; every write gets an ERR naming the primary to send it to.
+// Both require -data-dir, and a follower's data dir must contain a copy of
+// the primary's proxy-keys.json (the proxy cannot unseal replicated
+// metadata without it).
+//
 // Try it:
 //
 //	printf 'CREATE TABLE t (a INT, b TEXT)\nINSERT INTO t (a, b) VALUES (1, %s)\nSELECT * FROM t\n' "'x'" | nc localhost 7432
@@ -67,6 +79,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/sqldb"
 	"repro/internal/store"
+	"repro/internal/store/replicated"
 	"repro/internal/store/sharded"
 	"repro/internal/store/single"
 	"repro/internal/workload"
@@ -84,6 +97,8 @@ func main() {
 	noFsync := flag.Bool("wal-nofsync", false, "skip fsync after each commit (faster; a machine crash may lose recent commits)")
 	checkpointMB := flag.Int64("checkpoint-mb", 4, "WAL size in MiB that triggers an automatic snapshot; 0 disables")
 	maxSessions := flag.Int("max-sessions", 0, "maximum concurrent client sessions; 0 = unlimited")
+	replicateTo := flag.String("replicate-to", "", "also listen on this address for replication followers and ship the WAL to them (requires -data-dir)")
+	replicaOf := flag.String("replica-of", "", "run as a read-only follower of the primary at this address (requires -data-dir with the primary's proxy-keys.json)")
 	flag.Parse()
 
 	srv, err := newServer(config{
@@ -94,6 +109,8 @@ func main() {
 		noFsync:      *noFsync,
 		checkpointMB: *checkpointMB,
 		maxSessions:  *maxSessions,
+		replicateTo:  *replicateTo,
+		replicaOf:    *replicaOf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -104,6 +121,11 @@ func main() {
 	}
 	if n := srv.eng.Shards(); n > 1 {
 		mode += fmt.Sprintf(", %d shards", n)
+	}
+	if *replicaOf != "" {
+		mode += ", read-only replica of " + *replicaOf
+	} else if pe, ok := srv.eng.(*replicated.PrimaryEngine); ok {
+		mode += ", replicating on " + pe.Addr()
 	}
 	log.Printf("cryptdb-server listening on %s (multi-principal: %v, %s)", srv.ln.Addr(), *multi, mode)
 
@@ -129,6 +151,17 @@ type config struct {
 	noFsync      bool
 	checkpointMB int64
 	maxSessions  int
+	replicateTo  string
+	replicaOf    string
+}
+
+// durability translates the flag values into engine options.
+func (cfg config) durability() sqldb.DurabilityOptions {
+	cb := cfg.checkpointMB << 20
+	if cb == 0 {
+		cb = -1 // flag semantics: 0 disables auto-checkpoints
+	}
+	return sqldb.DurabilityOptions{NoFsync: cfg.noFsync, CheckpointBytes: cb}
 }
 
 // server owns the listener, the executor stack (proxy or multi-principal
@@ -153,9 +186,29 @@ type server struct {
 }
 
 func newServer(cfg config) (*server, error) {
+	if cfg.replicateTo != "" && cfg.replicaOf != "" {
+		return nil, fmt.Errorf("-replicate-to and -replica-of are mutually exclusive")
+	}
+	if (cfg.replicateTo != "" || cfg.replicaOf != "") && cfg.dataDir == "" {
+		return nil, fmt.Errorf("replication requires -data-dir (the WAL is the replication stream)")
+	}
+	if cfg.replicaOf != "" && cfg.multi {
+		return nil, fmt.Errorf("-replica-of cannot be combined with -multi (followers are read-only)")
+	}
+	if cfg.replicaOf != "" && cfg.shards > 1 {
+		return nil, fmt.Errorf("-replica-of determines the shard count from the primary; drop -shards")
+	}
 	eng, err := openEngine(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.replicateTo != "" {
+		pe, err := replicated.WrapPrimary(eng, cfg.replicateTo)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		eng = pe
 	}
 	p, err := proxy.NewOnEngine(eng, proxy.Options{DataDir: cfg.dataDir})
 	if err != nil {
@@ -195,11 +248,12 @@ func newServer(cfg config) (*server, error) {
 // reinterpreted as sharded — either mistake would silently serve an
 // empty database.
 func openEngine(cfg config) (store.Engine, error) {
-	cb := cfg.checkpointMB << 20
-	if cb == 0 {
-		cb = -1 // flag semantics: 0 disables auto-checkpoints
+	dopts := cfg.durability()
+	if cfg.replicaOf != "" {
+		// Follower topology mirrors the primary's, probed over the wire;
+		// local flags cannot override it.
+		return replicated.OpenFollower(cfg.dataDir, cfg.replicaOf, dopts)
 	}
-	dopts := sqldb.DurabilityOptions{NoFsync: cfg.noFsync, CheckpointBytes: cb}
 	if cfg.dataDir != "" {
 		manifestShards, isSharded := sharded.DirShards(cfg.dataDir)
 		if isSharded {
@@ -293,6 +347,10 @@ func (s *server) run() error {
 	st := s.eng.Stats()
 	log.Printf("cryptdb-server: store stats: shards=%d wal-batches=%d wal-syncs=%d checkpoints=%d size=%dB busy=%dms",
 		st.Shards, st.WAL.Batches, st.WAL.Syncs, st.WAL.Checkpoints, st.SizeBytes, st.BusyNanos/1e6)
+	for _, f := range st.Followers {
+		log.Printf("cryptdb-server: follower %s shard %d: acked seq %d of %d (lag %d)",
+			f.Remote, f.Shard, f.AckedSeq, f.PrimarySeq, f.PrimarySeq-f.AckedSeq)
+	}
 
 	// Flush durable state last: after this returns, everything committed
 	// is on disk.

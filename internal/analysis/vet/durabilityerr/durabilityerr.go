@@ -59,6 +59,7 @@ func inScope(path string) bool {
 	return vet.PathContains(path, "internal/sqldb") ||
 		vet.PathContains(path, "internal/store") ||
 		vet.PathContains(path, "internal/proxy") ||
+		vet.PathContains(path, "internal/repl") ||
 		vet.PathContains(path, "cmd")
 }
 

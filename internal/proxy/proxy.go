@@ -134,6 +134,13 @@ type Proxy struct {
 	dataDir string
 	metaMu  sync.Mutex
 
+	// replica is non-nil when the engine is a replication follower: the
+	// proxy then serves reads only and refreshes its metadata from the
+	// replicated stream (see replica.go). replicaGen is the engine
+	// MetaGeneration the current p.tables was unsealed from (atomic).
+	replica    store.Replica
+	replicaGen uint64
+
 	// training-mode log of would-be adjustments.
 	trainLog []TrainEvent
 
@@ -202,6 +209,14 @@ func openPersistent(db store.Engine, opts Options) (*Proxy, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep, _ := db.(store.Replica)
+	if fresh && rep != nil {
+		// A follower must decrypt blobs sealed by the primary's proxy;
+		// generating fresh keys here would silently produce a proxy that
+		// can never unseal anything. The operator copies the primary's
+		// key file when provisioning the replica.
+		return nil, fmt.Errorf("proxy: replica data dir %s has no %s — copy it from the primary", dir, keyFileName)
+	}
 	if fresh {
 		if db.Meta() != nil {
 			return nil, fmt.Errorf("proxy: %s has database state but no %s — the key file is required to decrypt it", dir, keyFileName)
@@ -248,6 +263,13 @@ func openPersistent(db store.Engine, opts Options) (*Proxy, error) {
 		return nil, err
 	}
 	p.dataDir = dir
+	if rep != nil {
+		// Record the generation before reading the blob: a transition
+		// between the two reads leaves replicaGen stale, so the first
+		// query reloads — never the reverse.
+		p.replica = rep
+		atomic.StoreUint64(&p.replicaGen, rep.MetaGeneration())
+	}
 	if sealed := db.Meta(); sealed != nil {
 		if err := p.restoreState(sealed); err != nil {
 			return nil, err

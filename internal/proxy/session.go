@@ -124,6 +124,19 @@ func (p *Proxy) defaultSession() *Session {
 func (s *Session) ExecuteStmt(st sqlparser.Statement, params ...sqldb.Value) (*sqldb.Result, error) {
 	p := s.p
 	atomic.AddInt64(&p.stats.Queries, 1)
+	if p.replica != nil {
+		// A replica proxy serves reads only; anything else redirects to
+		// the primary. Refresh the onion metadata first when the
+		// replicated stream has applied a newer sealed blob, so queries
+		// always see layer bookkeeping consistent with the ciphertexts
+		// that have replayed locally.
+		if _, ok := st.(*sqlparser.SelectStmt); !ok {
+			return nil, p.replicaReadOnly()
+		}
+		if err := p.maybeReloadReplicaMeta(); err != nil {
+			return nil, err
+		}
+	}
 	switch x := st.(type) {
 	case *sqlparser.CreateTableStmt:
 		p.mu.Lock()

@@ -70,10 +70,18 @@ type DB struct {
 	stmtBuf     []byte
 	checkpoints int64
 
+	// snapSeq is the WAL sequence number the on-disk snapshot covers;
+	// frames at or below it are no longer in the log. Replication taps
+	// consult it to decide between log-tail catch-up and a full snapshot
+	// resync (see replication.go). Guarded by mu.
+	snapSeq uint64
+
 	// meta is the last committed application-metadata blob (the CryptDB
 	// proxy's sealed state; see ExecWithMeta). It rides the WAL and the
 	// snapshot so it commits atomically with the writes it describes.
 	meta []byte
+	// metaVer counts committed meta transitions (atomic; see MetaVersion).
+	metaVer uint64
 
 	// busyNanos accumulates wall time spent executing statements — the
 	// "server-side" cost the paper's throughput figures measure (the
@@ -345,6 +353,7 @@ func (db *DB) SetMeta(meta []byte) error {
 	db.mu.Lock()
 	if db.wal == nil {
 		db.meta = append([]byte(nil), meta...)
+		atomic.AddUint64(&db.metaVer, 1)
 		db.mu.Unlock()
 		return nil
 	}
@@ -354,6 +363,7 @@ func (db *DB) SetMeta(meta []byte) error {
 	db.walSeq++
 	cohort := db.wal.enqueue(db.walSeq, appendMetaOp(nil, meta))
 	db.meta = append([]byte(nil), meta...)
+	atomic.AddUint64(&db.metaVer, 1)
 	db.mu.Unlock()
 
 	if err := db.wal.waitFlush(cohort); err != nil {
@@ -414,6 +424,7 @@ func (db *DB) autocommit(meta []byte, fn func() (*Result, error)) (*Result, erro
 	if db.wal == nil {
 		if meta != nil {
 			db.meta = append([]byte(nil), meta...)
+			atomic.AddUint64(&db.metaVer, 1)
 		}
 		db.stmtBuf = db.stmtBuf[:0]
 		db.mu.Unlock()
@@ -431,6 +442,7 @@ func (db *DB) autocommit(meta []byte, fn func() (*Result, error)) (*Result, erro
 	db.stmtBuf = db.stmtBuf[:0]
 	if meta != nil {
 		db.meta = append([]byte(nil), meta...)
+		atomic.AddUint64(&db.metaVer, 1)
 	}
 	db.mu.Unlock()
 

@@ -613,6 +613,7 @@ func (s *Session) commitLocked() (*Result, error) {
 			ops = appendMetaOp(ops, txn.meta)
 		}
 		db.meta = append([]byte(nil), txn.meta...)
+		atomic.AddUint64(&db.metaVer, 1)
 	}
 	var cohort *walCohort
 	if db.wal != nil && len(ops) > 0 {

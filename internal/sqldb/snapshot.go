@@ -119,6 +119,7 @@ func Open(dir string, opts DurabilityOptions) (*DB, error) {
 		return nil, err
 	}
 	db.walSeq = snapSeq
+	db.snapSeq = snapSeq
 
 	walPath := filepath.Join(dir, walFileName)
 	if _, err := os.Stat(walPath); err == nil {
@@ -231,6 +232,7 @@ func (db *DB) checkpointLocked() error {
 	if err := db.wal.reset(); err != nil {
 		return err
 	}
+	db.snapSeq = db.walSeq
 	db.checkpoints++
 	return nil
 }
@@ -258,9 +260,12 @@ func (db *DB) maybeAutoCheckpoint() error {
 	return db.checkpointLocked()
 }
 
-// writeSnapshot serializes the whole database to <dir>/snapshot.db
-// atomically (temp file + rename + directory sync).
-func (db *DB) writeSnapshot() error {
+// snapshotOps serializes the whole database — schema, indexes, rows (with
+// their slots), and the committed meta blob — as one self-contained WAL-op
+// stream, in a deterministic order. Shared by snapshot writing, snapshot
+// shipping to a catching-up follower (TapWithSnapshot), and the state
+// digest replication tests compare. Callers hold db.mu (either side).
+func (db *DB) snapshotOps() []byte {
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -304,6 +309,13 @@ func (db *DB) writeSnapshot() error {
 	if db.meta != nil {
 		ops = appendMetaOp(ops, db.meta)
 	}
+	return ops
+}
+
+// writeSnapshot serializes the whole database to <dir>/snapshot.db
+// atomically (temp file + rename + directory sync).
+func (db *DB) writeSnapshot() error {
+	ops := db.snapshotOps()
 
 	payload := make([]byte, 8+len(ops))
 	binary.BigEndian.PutUint64(payload, db.walSeq)

@@ -431,6 +431,7 @@ func (db *DB) applyOp(op walOp) error {
 		return nil
 	case walOpMeta:
 		db.meta = op.meta
+		atomic.AddUint64(&db.metaVer, 1)
 		return nil
 	}
 	return fmt.Errorf("sqldb: wal replay: unknown op kind %d", op.kind)
@@ -501,6 +502,12 @@ type walWriter struct {
 	// leader should give them a moment to join the cohort.
 	announced int64
 	staged    int64
+
+	// taps are live replication subscribers (guarded by mu). A cohort's
+	// frames are handed to every tap after — never before — its
+	// write+fsync succeeds, so a follower can only ever see durable
+	// commits.
+	taps []*LogTap
 
 	// stats (atomics: read by WALStats without the writer lock)
 	size    int64
@@ -665,6 +672,38 @@ func (w *walWriter) flushHeadLocked() {
 	if cohort.err != nil && w.failed == nil {
 		w.failed = cohort.err
 	}
+	if cohort.err == nil {
+		// Deliver under w.mu: the flushing flag serializes flushes, and
+		// delivering before the next cohort can flush keeps every tap in
+		// file (= sequence) order.
+		for _, t := range w.taps {
+			t.deliver(cohort.frames)
+		}
+	}
+}
+
+// removeTap unsubscribes a tap.
+func (w *walWriter) removeTap(tap *LogTap) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, t := range w.taps {
+		if t == tap {
+			w.taps = append(w.taps[:i], w.taps[i+1:]...)
+			return
+		}
+	}
+}
+
+// invalidateTaps marks every subscriber lagged: the log's contents no
+// longer continue the stream the taps have seen, so subscribers must
+// re-establish (and possibly resync from a snapshot).
+func (w *walWriter) invalidateTaps() {
+	w.mu.Lock()
+	taps := append([]*LogTap(nil), w.taps...)
+	w.mu.Unlock()
+	for _, t := range taps {
+		t.invalidate()
+	}
 }
 
 // awaitStragglers yields briefly (bounded by groupCommitWindow) while more
@@ -753,7 +792,14 @@ func (w *walWriter) reset() error {
 	}
 	// The truncated log is whole again and the checkpoint that called us
 	// captured the full state, so a write failure that poisoned the
-	// writer is cured.
+	// writer is cured. Commits that failed during the poisoned window
+	// applied in memory without ever reaching a tap, so any subscriber now
+	// has a gap: invalidate them (they must resync via snapshot).
+	if w.failed != nil {
+		for _, t := range w.taps {
+			t.invalidate()
+		}
+	}
 	w.failed = nil
 	return nil
 }

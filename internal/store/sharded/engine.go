@@ -320,6 +320,15 @@ func unwrapMeta(wrapped []byte) (seq uint64, blob []byte, ok bool) {
 	return binary.BigEndian.Uint64(wrapped), wrapped[8:], true
 }
 
+// UnwrapMeta decodes the sharded engine's metadata envelope: the sequence
+// number that orders blobs across shards, and the proxy's raw blob. A
+// replicated follower of a sharded primary uses it to pick the newest
+// blob out of its replayed shard state, the same comparison sharded
+// recovery makes.
+func UnwrapMeta(wrapped []byte) (seq uint64, blob []byte, ok bool) {
+	return unwrapMeta(wrapped)
+}
+
 // wrapNext allocates the next envelope sequence for blob. Callers hold
 // e.metaMu across the commit that carries the wrapped blob, so envelope
 // order matches WAL order.

@@ -67,6 +67,46 @@ type Stats struct {
 	WAL       sqldb.WALStats
 	SizeBytes int
 	BusyNanos int64
+	// Followers lists per-follower replication progress when this engine
+	// is a replicating primary (empty otherwise).
+	Followers []FollowerStat
+}
+
+// FollowerStat is one connected follower's replication progress, as seen
+// by the primary. Lag is PrimarySeq - AckedSeq, in commit batches.
+type FollowerStat struct {
+	Remote     string
+	Shard      int
+	SentSeq    uint64
+	AckedSeq   uint64
+	PrimarySeq uint64
+}
+
+// ReadOnlyError reports that a statement tried to write through a
+// follower engine. Followers serve reads only; the error names the
+// primary so a client (or proxy) can redirect the write.
+type ReadOnlyError struct{ Primary string }
+
+// Error implements the error interface.
+func (e *ReadOnlyError) Error() string {
+	return "store: follower is read-only; send writes to the primary at " + e.Primary
+}
+
+// Replica is implemented by follower engines. The proxy detects it to
+// route writes away and to refresh its sealed metadata when the
+// replicated blob advances.
+type Replica interface {
+	// PrimaryAddr returns the replication address of the primary this
+	// follower tails.
+	PrimaryAddr() string
+	// ReplicaSeq returns the replay position: the minimum committed WAL
+	// sequence across the follower's shards. Monotone non-decreasing for
+	// the life of the engine, across reconnects.
+	ReplicaSeq() uint64
+	// MetaGeneration counts committed metadata transitions observed by
+	// the follower (summed across shards) — a cheap change detector for
+	// re-loading sealed proxy state.
+	MetaGeneration() uint64
 }
 
 // Engine is one logical DBMS behind the proxy.
