@@ -319,7 +319,10 @@ func figStorage() error {
 	fmt.Printf("TPC-C plaintext:          %10d bytes\n", pb)
 	fmt.Printf("TPC-C CryptDB (trained):  %10d bytes  (%.2fx)   paper: 3.76x\n", tb, float64(tb)/float64(pb))
 	fmt.Printf("TPC-C CryptDB (all onions): %8d bytes  (%.2fx)\n", fb, float64(fb)/float64(pb))
-	return figStorageForum()
+	if err := figStorageForum(); err != nil {
+		return err
+	}
+	return figStoragePaged()
 }
 
 // figAdjust reproduces §8.4.4: onion-layer removal runs at roughly AES

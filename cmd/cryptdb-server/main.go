@@ -96,6 +96,8 @@ func main() {
 	shards := flag.Int("shards", 1, "number of store shards (hash-partitioned by hidden row id); a durable directory fixes the count at creation")
 	noFsync := flag.Bool("wal-nofsync", false, "skip fsync after each commit (faster; a machine crash may lose recent commits)")
 	checkpointMB := flag.Int64("checkpoint-mb", 4, "WAL size in MiB that triggers an automatic snapshot; 0 disables")
+	paged := flag.Bool("paged", false, "store rows in on-disk page segments behind a byte-budgeted buffer cache, so data may exceed RAM (requires -data-dir); an existing directory's layout always wins")
+	cacheMB := flag.Int64("cache-mb", 64, "paged-mode buffer-cache budget in MiB, split evenly across shards; ignored without -paged (or a paged directory)")
 	maxSessions := flag.Int("max-sessions", 0, "maximum concurrent client sessions; 0 = unlimited")
 	replicateTo := flag.String("replicate-to", "", "also listen on this address for replication followers and ship the WAL to them (requires -data-dir)")
 	replicaOf := flag.String("replica-of", "", "run as a read-only follower of the primary at this address (requires -data-dir with the primary's proxy-keys.json)")
@@ -108,6 +110,8 @@ func main() {
 		shards:       *shards,
 		noFsync:      *noFsync,
 		checkpointMB: *checkpointMB,
+		paged:        *paged,
+		cacheMB:      *cacheMB,
 		maxSessions:  *maxSessions,
 		replicateTo:  *replicateTo,
 		replicaOf:    *replicaOf,
@@ -121,6 +125,9 @@ func main() {
 	}
 	if n := srv.eng.Shards(); n > 1 {
 		mode += fmt.Sprintf(", %d shards", n)
+	}
+	if b := srv.eng.Stats().Cache.BudgetBytes; b > 0 {
+		mode += fmt.Sprintf(", paged (cache %d MiB)", b>>20)
 	}
 	if *replicaOf != "" {
 		mode += ", read-only replica of " + *replicaOf
@@ -150,18 +157,34 @@ type config struct {
 	shards       int
 	noFsync      bool
 	checkpointMB int64
+	paged        bool
+	cacheMB      int64
 	maxSessions  int
 	replicateTo  string
 	replicaOf    string
 }
 
-// durability translates the flag values into engine options.
+// durability translates the flag values into engine options. The cache
+// budget here is the whole engine's; openEngine splits it across shards.
 func (cfg config) durability() sqldb.DurabilityOptions {
 	cb := cfg.checkpointMB << 20
 	if cb == 0 {
 		cb = -1 // flag semantics: 0 disables auto-checkpoints
 	}
-	return sqldb.DurabilityOptions{NoFsync: cfg.noFsync, CheckpointBytes: cb}
+	return sqldb.DurabilityOptions{
+		NoFsync:         cfg.noFsync,
+		CheckpointBytes: cb,
+		Paged:           cfg.paged,
+		CacheBytes:      cfg.cacheMB << 20,
+	}
+}
+
+// splitCache divides the engine-wide cache budget across n shards.
+func splitCache(dopts sqldb.DurabilityOptions, n int) sqldb.DurabilityOptions {
+	if n > 1 && dopts.CacheBytes > 0 {
+		dopts.CacheBytes /= int64(n)
+	}
+	return dopts
 }
 
 // server owns the listener, the executor stack (proxy or multi-principal
@@ -197,6 +220,9 @@ func newServer(cfg config) (*server, error) {
 	}
 	if cfg.replicaOf != "" && cfg.shards > 1 {
 		return nil, fmt.Errorf("-replica-of determines the shard count from the primary; drop -shards")
+	}
+	if cfg.paged && cfg.dataDir == "" {
+		return nil, fmt.Errorf("-paged requires -data-dir (pages live in on-disk segment files)")
 	}
 	eng, err := openEngine(cfg)
 	if err != nil {
@@ -266,13 +292,13 @@ func openEngine(cfg config) (store.Engine, error) {
 			}
 			// An unreadable manifest (manifestShards == 0) falls through to
 			// Open, which fails loudly rather than serving an empty store.
-			return sharded.Open(cfg.dataDir, n, dopts)
+			return sharded.Open(cfg.dataDir, n, splitCache(dopts, manifestShards))
 		}
 		if cfg.shards > 1 {
 			if _, err := os.Stat(filepath.Join(cfg.dataDir, "wal.log")); err == nil {
 				return nil, fmt.Errorf("data dir %s holds a single (unsharded) store; it cannot be reopened with -shards %d", cfg.dataDir, cfg.shards)
 			}
-			return sharded.Open(cfg.dataDir, cfg.shards, dopts)
+			return sharded.Open(cfg.dataDir, cfg.shards, splitCache(dopts, cfg.shards))
 		}
 		return single.Open(cfg.dataDir, dopts)
 	}

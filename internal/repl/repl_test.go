@@ -19,7 +19,12 @@ var dopts = sqldb.DurabilityOptions{CheckpointBytes: -1, NoFsync: true}
 
 func openDB(t *testing.T, dir string) *sqldb.DB {
 	t.Helper()
-	db, err := sqldb.Open(dir, dopts)
+	return openDBOpts(t, dir, dopts)
+}
+
+func openDBOpts(t *testing.T, dir string, opts sqldb.DurabilityOptions) *sqldb.DB {
+	t.Helper()
+	db, err := sqldb.Open(dir, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,9 +127,25 @@ func assertConverged(t *testing.T, prim, fol *sqldb.DB, fw *repl.Follower) {
 // byte-equal state and serve identical SELECTs.
 func TestReplicationFaultSchedule(t *testing.T) {
 	const steps = 300
-	for _, seed := range []int64{1, 7, 42} {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+	// The paged arm replays into a follower whose rows live behind a
+	// buffer cache smaller than one page, with background auto-checkpoints
+	// enabled: stream application, crash-restart resume and the
+	// snapshot-resync path all run against the paged layout. Replication
+	// addresses rows by slot, so digest equality is layout-independent.
+	pagedOpts := sqldb.DurabilityOptions{NoFsync: true, CheckpointBytes: 1 << 16, Paged: true, CacheBytes: 32 << 10}
+	cases := []struct {
+		name  string
+		seed  int64
+		fopts sqldb.DurabilityOptions
+	}{
+		{"seed=1", 1, dopts},
+		{"seed=7", 7, dopts},
+		{"seed=42", 42, dopts},
+		{"seed=7/paged-follower", 7, pagedOpts},
+	}
+	for _, tc := range cases {
+		seed, fopts := tc.seed, tc.fopts
+		t.Run(tc.name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			prim := openDB(t, t.TempDir())
 			defer prim.Close()
@@ -160,7 +181,7 @@ func TestReplicationFaultSchedule(t *testing.T) {
 			p.SetFaultInjector(script)
 
 			folDir := t.TempDir()
-			fol := openDB(t, folDir)
+			fol := openDBOpts(t, folDir, fopts)
 			fw := repl.StartFollower(fol, p.Addr(), 0)
 
 			// The schedule: a kill+restart at 60 and 220 exercises resume
@@ -179,7 +200,7 @@ func TestReplicationFaultSchedule(t *testing.T) {
 					if err := fol.Close(); err != nil {
 						t.Fatal(err)
 					}
-					fol = openDB(t, folDir)
+					fol = openDBOpts(t, folDir, fopts)
 					fw = repl.StartFollower(fol, p.Addr(), 0)
 				case 90:
 					fw.Close()
@@ -194,7 +215,7 @@ func TestReplicationFaultSchedule(t *testing.T) {
 						t.Fatal(err)
 					}
 				case 110:
-					fol = openDB(t, folDir)
+					fol = openDBOpts(t, folDir, fopts)
 					fw = repl.StartFollower(fol, p.Addr(), 0)
 					down = false
 				}
@@ -207,6 +228,14 @@ func TestReplicationFaultSchedule(t *testing.T) {
 			defer fw.Close()
 			defer fol.Close()
 			assertConverged(t, prim, fol, fw)
+			if fopts.Paged {
+				if !fol.Paged() {
+					t.Fatal("paged arm ran a resident follower")
+				}
+				if cs := fol.CacheStats(); cs.Misses == 0 {
+					t.Fatalf("paged follower never faulted a page: %+v", cs)
+				}
+			}
 			if script.Messages() < steps/2 {
 				t.Fatalf("fault script observed only %d messages — stream not exercised", script.Messages())
 			}

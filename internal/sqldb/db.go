@@ -70,6 +70,26 @@ type DB struct {
 	stmtBuf     []byte
 	checkpoints int64
 
+	// pager is the buffer cache of a paged database (nil for resident and
+	// in-memory databases); set once in Open, immutable afterwards.
+	pager *pager
+
+	// Background checkpointer (started by Open). ckptMu single-flights
+	// checkpoints; when both are taken, ckptMu comes first, then db.mu —
+	// never the reverse. ckptKick is the commit path's non-blocking nudge.
+	ckptMu   sync.Mutex
+	ckptKick chan struct{}
+	ckptStop chan struct{}
+	ckptOnce sync.Once
+	ckptWG   sync.WaitGroup
+	// ckptPauseNanos is cumulative lock-hold time of checkpoints;
+	// lastCkptBytes is the bytes the most recent one wrote (atomics).
+	ckptPauseNanos int64
+	lastCkptBytes  int64
+	// ckptBgErr records the most recent background-checkpoint failure,
+	// boxed so concrete error types may vary (see LastCheckpointError).
+	ckptBgErr atomic.Value
+
 	// snapSeq is the WAL sequence number the on-disk snapshot covers;
 	// frames at or below it are no longer in the log. Replication taps
 	// consult it to decide between log-tail catch-up and a full snapshot
@@ -279,9 +299,11 @@ func (db *DB) execStateless(st sqlparser.Statement, meta []byte, params []Value)
 	defer db.trackBusy(time.Now())
 	switch s := st.(type) {
 	case *sqlparser.SelectStmt:
-		db.mu.RLock()
-		defer db.mu.RUnlock()
-		return db.execSelect(s, params)
+		return db.readStatement(func() (*Result, error) {
+			db.mu.RLock()
+			defer db.mu.RUnlock()
+			return db.execSelect(s, params)
+		})
 	case *sqlparser.InsertStmt:
 		return db.autocommit(meta, func() (*Result, error) { return db.execInsert(s, params) })
 	case *sqlparser.UpdateStmt:
@@ -334,6 +356,9 @@ func (db *DB) execDropTable(s *sqlparser.DropTableStmt) (*Result, error) {
 		if tt := txn.tables[s.Name]; tt != nil && (len(tt.mods) > 0 || len(tt.ins) > 0) {
 			return nil, fmt.Errorf("sqldb: cannot drop %s: written by an open transaction", s.Name)
 		}
+	}
+	if db.pager != nil {
+		db.pager.forgetTable(db.tables[s.Name])
 	}
 	delete(db.tables, s.Name)
 	db.redoDropTable(s.Name)
@@ -415,8 +440,25 @@ func (db *DB) autocommit(meta []byte, fn func() (*Result, error)) (*Result, erro
 	}
 	db.mu.Lock()
 	db.stmtBuf = db.stmtBuf[:0]
-	res, err := fn()
+	res, err := func() (r *Result, e error) {
+		// A paged table can fail to fault a page back in mid-statement; the
+		// panic must not escape with db.mu held. Effects applied before the
+		// fault stay in stmtBuf and are still committed below, keeping the
+		// log in lockstep with memory (cf. DurabilityError semantics).
+		defer catchPageFault(&e)
+		return fn()
+	}()
 	if err != nil {
+		if _, faulted := err.(*PageFaultError); faulted && db.wal != nil && len(db.stmtBuf) > 0 {
+			db.walSeq++
+			cohort := db.wal.enqueue(db.walSeq, db.stmtBuf)
+			db.stmtBuf = db.stmtBuf[:0]
+			db.mu.Unlock()
+			if werr := db.wal.waitFlush(cohort); werr != nil {
+				return res, &DurabilityError{Err: werr}
+			}
+			return res, err
+		}
 		db.stmtBuf = db.stmtBuf[:0]
 		db.mu.Unlock()
 		return res, err
@@ -451,7 +493,17 @@ func (db *DB) autocommit(meta []byte, fn func() (*Result, error)) (*Result, erro
 		// failure to the caller rather than pretending the write is safe.
 		return res, &DurabilityError{Err: err}
 	}
-	return res, db.maybeAutoCheckpoint()
+	db.maybeAutoCheckpoint()
+	db.cachePressure()
+	return res, nil
+}
+
+// readStatement runs a read under page-fault protection: a paged table may
+// fail to fault a row page back in, and the panic the accessors raise must
+// come back as this statement's error.
+func (db *DB) readStatement(fn func() (*Result, error)) (res *Result, err error) {
+	defer catchPageFault(&err)
+	return fn()
 }
 
 // Redo-capture helpers, called from the exec layer after each in-memory
@@ -512,6 +564,7 @@ func (db *DB) execCreateTable(s *sqlparser.CreateTableStmt) (*Result, error) {
 		cols[i] = Column{Name: c.Name, Type: c.Type, Primary: c.Primary}
 	}
 	t := newTable(s.Name, cols)
+	db.adoptTable(t)
 	for _, c := range s.Cols {
 		if c.Primary {
 			if err := t.addIndex(c.Name, true); err != nil {

@@ -318,7 +318,7 @@ func (h *hashJoinSource) runIndexProbe(emit func([]tuple) error, idx *hashIndex)
 				if cv, ok := coerceOrdBound(v, kind); ok {
 					keyBuf = cv.appendKey(keyBuf[:0])
 					for _, slot := range idx.m[string(keyBuf)] {
-						if err := pair(tup, h.t.rows[slot]); err != nil {
+						if err := pair(tup, h.t.rowAt(slot)); err != nil {
 							return err
 						}
 					}

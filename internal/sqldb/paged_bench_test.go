@@ -1,0 +1,117 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// benchPagedDB loads rows into a fresh database (paged when cacheBytes >
+// 0, resident in-memory otherwise) for the read benchmarks. In -short mode
+// (the CI bench smoke) the dataset shrinks so setup stays cheap.
+func benchPagedDB(b *testing.B, cacheBytes int64, rows int) *DB {
+	b.Helper()
+	if testing.Short() {
+		rows /= 16
+	}
+	var db *DB
+	if cacheBytes > 0 {
+		d, err := Open(b.TempDir(), DurabilityOptions{NoFsync: true, CheckpointBytes: -1, Paged: true, CacheBytes: cacheBytes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db = d
+	} else {
+		db = New()
+	}
+	pad := strings.Repeat("b", 100)
+	const batch = 256
+	for base := 0; base < rows; base += batch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO big (id, pad) VALUES ")
+		for i := 0; i < batch && base+i < rows; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, '%s')", base+i, pad)
+		}
+		if base == 0 {
+			if _, err := db.ExecSQL("CREATE TABLE big (id INT PRIMARY KEY, pad TEXT)"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := db.ExecSQL(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if cacheBytes > 0 {
+		if err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+func benchPointReads(b *testing.B, db *DB, space int) {
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.ExecSQL("SELECT pad FROM big WHERE id = ?", Int(int64(rng.Intn(space))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			b.Fatalf("point read returned %d rows", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkPointReadResident is the in-memory baseline for the paged reads.
+func BenchmarkPointReadResident(b *testing.B) {
+	db := benchPagedDB(b, 0, 32*1024)
+	benchPointReads(b, db, 4096)
+}
+
+// BenchmarkPointReadPagedHot reads a working set that fits the cache.
+func BenchmarkPointReadPagedHot(b *testing.B) {
+	db := benchPagedDB(b, 2<<20, 32*1024)
+	benchPointReads(b, db, 4096)
+}
+
+// BenchmarkPointReadPagedCold reads uniformly over a dataset ~2x the cache
+// budget, so a fraction of reads fault a page in from its segment.
+func BenchmarkPointReadPagedCold(b *testing.B) {
+	rows := 32 * 1024
+	db := benchPagedDB(b, 2<<20, rows)
+	if testing.Short() {
+		rows /= 16
+	}
+	benchPointReads(b, db, rows)
+}
+
+// BenchmarkIncrementalCheckpoint measures one churn checkpoint: update a
+// handful of rows, checkpoint only their dirty pages.
+func BenchmarkIncrementalCheckpoint(b *testing.B) {
+	rows := 32 * 1024
+	db := benchPagedDB(b, 64<<20, rows)
+	if testing.Short() {
+		rows /= 16
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 8; j++ {
+			if _, err := db.ExecSQL("UPDATE big SET pad = ? WHERE id = ?",
+				Text(fmt.Sprintf("u%d", i)), Int(int64(rng.Intn(rows)))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -263,7 +263,7 @@ func (a access) iterate(t *Table, fn func(slot int, row []Value) bool) {
 	case accessEmpty:
 	case accessEq:
 		for _, slot := range a.slots {
-			if row := t.rows[slot]; row != nil {
+			if row := t.rowAt(slot); row != nil {
 				if !fn(slot, row) {
 					return
 				}
@@ -272,7 +272,7 @@ func (a access) iterate(t *Table, fn func(slot int, row []Value) bool) {
 	case accessRange:
 		a.idx.ascendRange(a.rng, func(n *ordNode) bool {
 			for _, slot := range n.slots {
-				if row := t.rows[slot]; row != nil {
+				if row := t.rowAt(slot); row != nil {
 					if !fn(slot, row) {
 						return false
 					}

@@ -214,6 +214,7 @@ func (db *DB) TapWAL(fromSeq uint64) (*LogTap, error) {
 func (db *DB) TapWithSnapshot() (ops []byte, seq uint64, tap *LogTap, err error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	defer catchPageFault(&err)
 	if db.wal == nil {
 		return nil, 0, nil, fmt.Errorf("sqldb: cannot tap an in-memory database")
 	}
@@ -329,13 +330,22 @@ func (db *DB) ApplyReplicatedFrame(frame []byte) error {
 		db.mu.Unlock()
 		return nil // already applied (redelivery after a reconnect)
 	}
-	for i, op := range ops {
-		if err := db.applyOp(op); err != nil {
-			// A mid-batch apply failure means the follower's state has
-			// diverged from the primary's; the caller must full-resync.
-			db.mu.Unlock()
-			return fmt.Errorf("sqldb: replicated frame %d apply (op %d): %w", seq, i, err)
+	applyErr := func() (err error) {
+		// Applying to a paged follower can fault pages in; the panic must
+		// not escape with db.mu held.
+		defer catchPageFault(&err)
+		for i, op := range ops {
+			if err := db.applyOp(op); err != nil {
+				// A mid-batch apply failure means the follower's state has
+				// diverged from the primary's; the caller must full-resync.
+				return fmt.Errorf("sqldb: replicated frame %d apply (op %d): %w", seq, i, err)
+			}
 		}
+		return nil
+	}()
+	if applyErr != nil {
+		db.mu.Unlock()
+		return applyErr
 	}
 	db.walSeq = seq
 	var cohort *walCohort
@@ -348,7 +358,8 @@ func (db *DB) ApplyReplicatedFrame(frame []byte) error {
 		if err := db.wal.waitFlush(cohort); err != nil {
 			return &DurabilityError{Err: err}
 		}
-		return db.maybeAutoCheckpoint()
+		db.maybeAutoCheckpoint()
+		db.cachePressure()
 	}
 	return nil
 }
@@ -372,10 +383,24 @@ func (db *DB) ResetFromSnapshot(ops []byte, seq uint64) error {
 		}
 	}
 
+	if db.pager != nil {
+		// The checkpoint below runs with db.mu held; take the single-flight
+		// lock first (ckptMu before db.mu, always) so a concurrent
+		// background checkpoint cannot interleave.
+		db.ckptMu.Lock()
+		defer db.ckptMu.Unlock()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if len(db.openTxns) > 0 {
 		return fmt.Errorf("sqldb: cannot reset state with %d open transactions", len(db.openTxns))
+	}
+	if db.pager != nil {
+		// Swap the cache's accounting over to the scratch tables: uncharge
+		// the old state, adopt the new (fully resident, all dirty).
+		for _, t := range db.tables {
+			db.pager.forgetTable(t)
+		}
 	}
 	db.tables = scratch.tables
 	db.meta = scratch.meta
@@ -389,6 +414,17 @@ func (db *DB) ResetFromSnapshot(ops []byte, seq uint64) error {
 	// new state and truncate. Any taps on this database may now have a gap,
 	// so they are invalidated (a chained subscriber must resync).
 	db.wal.invalidateTaps()
+	if db.pager != nil {
+		for _, t := range db.tables {
+			db.adoptResidentTable(t)
+		}
+		//cryptdb:vet-ok lockorder: a snapshot reset installs a frozen state; db.mu must span segment write + manifest install
+		if err := db.checkpointPagedLocked(); err != nil {
+			return &DurabilityError{Err: err}
+		}
+		db.pager.evictToBudget()
+		return nil
+	}
 	//cryptdb:vet-ok lockorder: a snapshot reset installs a frozen state; db.mu must span snapshot write + WAL reset
 	if err := db.checkpointLocked(); err != nil {
 		return &DurabilityError{Err: err}
@@ -403,6 +439,9 @@ func (db *DB) ResetFromSnapshot(ops []byte, seq uint64) error {
 func (db *DB) StateDigest() string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	// Digesting scans every row, faulting evicted pages through the cache;
+	// an I/O failure surfaces as a panic from the accessors and is allowed
+	// to propagate (digests back oracles and tests, which want loud failure).
 	sum := sha256.Sum256(db.snapshotOps())
 	return hex.EncodeToString(sum[:])
 }

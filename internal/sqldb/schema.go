@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/sqlparser"
 )
@@ -18,18 +19,30 @@ type Column struct {
 	Primary bool
 }
 
-// Table is the in-memory storage for one table: a row store plus hash
-// (equality) and ordered (range) indexes. Rows are append-only slots;
-// deleted rows become nil tombstones and slots are reused via a free list.
+// Table is the storage for one table: a page-grouped row store (see
+// page.go) plus hash (equality) and ordered (range) indexes. Rows are
+// append-only slots; deleted rows become nil tombstones and slots are
+// reused via a free list. Indexes are always fully resident and address
+// rows by slot; only row payloads page to disk.
 type Table struct {
 	Name       string
 	Cols       []Column
 	colIdx     map[string]int
-	rows       [][]Value
+	pages      []atomic.Pointer[rowPage] // slot s lives in pages[s>>pageShift]
+	nslots     int                       // slot-space size (live rows have slot < nslots)
 	free       []int
 	indexes    map[string]*hashIndex // column name -> equality index
 	ordIndexes map[string]*ordIndex  // column name -> ordered index
 	live       int
+	dataBytes  int // live row payload bytes, independent of residency
+
+	// Paged-mode state (see bufpool.go / ckpt_incremental.go): pager is the
+	// shared buffer cache (nil keeps every page resident), disk locates each
+	// page's current on-disk segment, and dropped tells the cache ring its
+	// entries for this table are stale.
+	pager   *pager
+	disk    []pageDiskRec
+	dropped bool
 
 	// lockSeed spreads this table's slots across the database's striped
 	// slot-lock table (see locktable.go). Fixed at creation.
@@ -182,15 +195,18 @@ func (t *Table) addIndex(column string, unique bool) error {
 		return nil // idempotent
 	}
 	idx := &hashIndex{column: column, pos: pos, unique: unique, m: make(map[string][]int)}
-	for slot, row := range t.rows {
-		if row == nil {
-			continue
-		}
+	var dup error
+	t.scan(func(slot int, row []Value) bool {
 		key := row[pos].Key()
 		if unique && len(idx.m[key]) > 0 {
-			return fmt.Errorf("sqldb: duplicate value for unique index on %s.%s", t.Name, column)
+			dup = fmt.Errorf("sqldb: duplicate value for unique index on %s.%s", t.Name, column)
+			return false
 		}
 		idx.addSlot(key, slot)
+		return true
+	})
+	if dup != nil {
+		return dup
 	}
 	t.indexes[column] = idx
 	return nil
@@ -229,11 +245,10 @@ func (t *Table) insertRow(row []Value) (int, error) {
 	if n := len(t.free); n > 0 {
 		slot = t.free[n-1]
 		t.free = t.free[:n-1]
-		t.rows[slot] = row
 	} else {
-		slot = len(t.rows)
-		t.rows = append(t.rows, row)
+		slot = t.nslots
 	}
+	t.putRow(slot, row)
 	for _, idx := range t.indexes {
 		idx.addSlot(row[idx.pos].Key(), slot)
 	}
@@ -249,13 +264,10 @@ func (t *Table) insertRow(row []Value) (int, error) {
 // execution assigned, so recovery must reproduce the layout exactly.
 // Constraint checks are skipped (the original execution validated them).
 func (t *Table) placeRow(slot int, row []Value) error {
-	for len(t.rows) <= slot {
-		if len(t.rows) != slot {
-			t.free = append(t.free, len(t.rows)) // interior gap: reusable
-		}
-		t.rows = append(t.rows, nil)
+	for s := t.nslots; s < slot; s++ {
+		t.free = append(t.free, s) // interior gap: reusable
 	}
-	if t.rows[slot] != nil {
+	if slot < t.nslots && t.rowAt(slot) != nil {
 		return fmt.Errorf("sqldb: replay places row into occupied slot %d of %s", slot, t.Name)
 	}
 	for i, s := range t.free {
@@ -265,7 +277,7 @@ func (t *Table) placeRow(slot int, row []Value) error {
 			break
 		}
 	}
-	t.rows[slot] = row
+	t.putRow(slot, row)
 	for _, idx := range t.indexes {
 		idx.addSlot(row[idx.pos].Key(), slot)
 	}
@@ -278,7 +290,11 @@ func (t *Table) placeRow(slot int, row []Value) error {
 
 // deleteRow removes the row in slot, maintaining indexes.
 func (t *Table) deleteRow(slot int) []Value {
-	row := t.rows[slot]
+	if slot >= t.nslots {
+		return nil
+	}
+	p := t.page(slot >> pageShift)
+	row := p.rows[slot&pageMask]
 	if row == nil {
 		return nil
 	}
@@ -288,7 +304,7 @@ func (t *Table) deleteRow(slot int) []Value {
 	for _, ix := range t.ordIndexes {
 		ix.remove(row[ix.pos], slot)
 	}
-	t.rows[slot] = nil
+	t.clearRow(p, slot)
 	t.free = append(t.free, slot)
 	t.live--
 	return row
@@ -325,7 +341,8 @@ func (t *Table) checkUpdateUnique(slot, pos int, v Value) error {
 // rollback path uses it directly because undo records restore values that
 // were valid when logged.
 func (t *Table) updateCellUnchecked(slot, pos int, v Value) {
-	row := t.rows[slot]
+	p := t.page(slot >> pageShift)
+	row := p.rows[slot&pageMask]
 	old := row[pos]
 	for _, idx := range t.indexes {
 		if idx.pos != pos {
@@ -342,6 +359,13 @@ func (t *Table) updateCellUnchecked(slot, pos int, v Value) {
 		ix.insert(v, slot)
 	}
 	row[pos] = v
+	delta := v.SizeBytes() - old.SizeBytes()
+	t.dataBytes += delta
+	p.bytes += delta
+	t.markDirty(p)
+	if t.pager != nil {
+		t.pager.resident.Add(int64(delta))
+	}
 }
 
 // indexByPos returns the hash index over the column at pos, if any. The
@@ -370,26 +394,26 @@ func (t *Table) lookup(column string, v Value) ([]int, bool) {
 	return idx.eqSlots(v)
 }
 
-// scan invokes fn for every live row until fn returns false.
+// scan invokes fn for every live row until fn returns false, faulting
+// evicted pages in as it goes.
 func (t *Table) scan(fn func(slot int, row []Value) bool) {
-	for slot, row := range t.rows {
-		if row == nil {
-			continue
+	for id := 0; id<<pageShift < t.nslots; id++ {
+		p := t.page(id)
+		base := id << pageShift
+		n := t.nslots - base
+		if n > pageSlots {
+			n = pageSlots
 		}
-		if !fn(slot, row) {
-			return
+		for i := 0; i < n; i++ {
+			if row := p.rows[i]; row != nil {
+				if !fn(base+i, row) {
+					return
+				}
+			}
 		}
 	}
 }
 
-// SizeBytes approximates the table's storage footprint (live data only).
-func (t *Table) SizeBytes() int {
-	total := 0
-	t.scan(func(_ int, row []Value) bool {
-		for _, v := range row {
-			total += v.SizeBytes()
-		}
-		return true
-	})
-	return total
-}
+// SizeBytes reports the table's live data size (payload bytes of live
+// rows), independent of how much of it is resident.
+func (t *Table) SizeBytes() int { return t.dataBytes }

@@ -131,7 +131,7 @@ func (db *DB) tryOrderedSelect(s *sqlparser.SelectStmt, sc *scope, params []Valu
 	var walkErr error
 	visit := func(n *ordNode) bool {
 		for _, slot := range n.slots {
-			row := t.rows[slot]
+			row := t.rowAt(slot)
 			if row == nil {
 				continue
 			}
@@ -340,7 +340,7 @@ func (db *DB) produceTuples(s *sqlparser.SelectStmt, sc *scope, params []Value) 
 				if slots, has := st.t.lookup(probeCol, v); has {
 					for _, slot := range slots {
 						nt := cloneTuple(tup)
-						nt[ti] = st.t.rows[slot]
+						nt[ti] = st.t.rowAt(slot)
 						if !probeIsOn {
 							keep, err := onFilter(nt)
 							if err != nil {

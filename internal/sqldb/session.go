@@ -175,14 +175,17 @@ func (s *Session) exec(st sqlparser.Statement, meta []byte, params []Value) (*Re
 		overlay := txn != nil && txn.touchesFrom(x.From)
 		s.mu.Unlock()
 		if overlay {
-			return txn.execSelect(x, params)
+			// readStatement: a transactional read only consults shared pages
+			// and the private buffer, and a page fault must surface as an
+			// error, not a panic.
+			return s.db.readStatement(func() (*Result, error) { return txn.execSelect(x, params) })
 		}
 		return s.db.execStateless(st, meta, params)
 	case *sqlparser.InsertStmt:
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if s.txn != nil {
-			res, err := s.txn.execInsert(x, params)
+			res, err := s.db.readStatement(func() (*Result, error) { return s.txn.execInsert(x, params) })
 			s.txn.attachMeta(meta, err)
 			return res, err
 		}
@@ -191,7 +194,7 @@ func (s *Session) exec(st sqlparser.Statement, meta []byte, params []Value) (*Re
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if s.txn != nil {
-			res, err := s.txn.execUpdate(x, params)
+			res, err := s.db.readStatement(func() (*Result, error) { return s.txn.execUpdate(x, params) })
 			s.txn.attachMeta(meta, err)
 			return res, err
 		}
@@ -200,7 +203,7 @@ func (s *Session) exec(st sqlparser.Statement, meta []byte, params []Value) (*Re
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if s.txn != nil {
-			res, err := s.txn.execDelete(x, params)
+			res, err := s.db.readStatement(func() (*Result, error) { return s.txn.execDelete(x, params) })
 			s.txn.attachMeta(meta, err)
 			return res, err
 		}
@@ -312,22 +315,20 @@ func (txn *Txn) buildMerged(t *Table, tt *txnTable) (*Table, map[int]*txnRow) {
 			panic(err)
 		}
 	}
-	for slot, row := range t.rows {
-		if row == nil {
-			continue
-		}
+	t.scan(func(slot int, row []Value) bool {
 		if m, ok := tt.mods[slot]; ok {
 			if m.deleted {
-				continue
+				return true
 			}
 			row = m.row
 		}
 		if err := mt.placeRow(slot, row); err != nil {
 			panic(err) // slots are unique by construction
 		}
-	}
+		return true
+	})
 	insAt := make(map[int]*txnRow, len(tt.ins))
-	next := len(t.rows)
+	next := t.slotCount()
 	for _, tr := range tt.ins {
 		if tr.deleted {
 			continue
@@ -468,7 +469,7 @@ func (txn *Txn) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, er
 	}
 	var mods []pendingMod
 	for _, slot := range slots {
-		row := mt.rows[slot]
+		row := mt.rowAt(slot)
 		if row == nil {
 			continue
 		}
@@ -603,9 +604,24 @@ func (s *Session) commitLocked() (*Result, error) {
 	db.mu.Lock()
 	ops, err := txn.applyLocked()
 	if err != nil {
+		var cohort *walCohort
+		if _, faulted := err.(*PageFaultError); faulted && db.wal != nil && len(ops) > 0 {
+			// A page fault aborted the apply midway: the effects before the
+			// fault are in the shared tables and cannot be cleanly reverted
+			// (reverting may fault again). Commit their redo so the log
+			// tracks memory, and surface the fault as the primary error.
+			db.walSeq++
+			cohort = db.wal.enqueue(db.walSeq, ops)
+		}
 		txn.releaseLocked()
 		db.mu.Unlock()
 		s.txn = nil
+		if cohort != nil {
+			if werr := db.wal.waitFlush(cohort); werr != nil {
+				return nil, &DurabilityError{Err: werr}
+			}
+			return nil, err
+		}
 		return nil, fmt.Errorf("sqldb: COMMIT failed, transaction rolled back: %w", err)
 	}
 	if txn.meta != nil {
@@ -631,7 +647,8 @@ func (s *Session) commitLocked() (*Result, error) {
 			// The in-memory state committed; only durability failed.
 			return &Result{}, &DurabilityError{Err: werr}
 		}
-		return &Result{}, db.maybeAutoCheckpoint()
+		db.maybeAutoCheckpoint()
+		db.cachePressure()
 	}
 	return &Result{}, nil
 }
@@ -665,6 +682,11 @@ func (txn *Txn) releaseLocked() {
 // everything already applied is undone and an error returned; the shared
 // state is then exactly as before the commit attempt. Callers hold db.mu.
 func (txn *Txn) applyLocked() (ops []byte, err error) {
+	// A paged table can fail to fault a page in mid-apply. No revert is
+	// attempted (reverting may fault again): the effects encoded in ops so
+	// far are in the shared tables, and the caller commits their redo so the
+	// log stays in lockstep with memory.
+	defer catchPageFault(&err)
 	type undoRec struct {
 		kind int // 0 = re-place deleted row, 1 = revert cell, 2 = remove inserted row
 		t    *Table
@@ -727,7 +749,7 @@ func (txn *Txn) applyLocked() (ops []byte, err error) {
 			if m.deleted {
 				continue
 			}
-			row := t.rows[slot]
+			row := t.rowAt(slot)
 			if row == nil {
 				continue // deleted by this txn via an earlier mod? cannot happen: one mod per slot
 			}

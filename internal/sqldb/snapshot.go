@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/fsutil"
 )
@@ -58,6 +59,18 @@ type DurabilityOptions struct {
 	// own write+fsync, serialized, as the seed did. Exists for the
 	// groupcommit benchmark ablation; leave it off in production.
 	NoGroupCommit bool
+
+	// Paged stores rows in per-page segment files behind a byte-budgeted
+	// buffer cache instead of keeping every row resident, so the database
+	// can exceed RAM. Checkpoints become incremental: only pages dirtied
+	// since the last one are rewritten. Opening an existing directory
+	// auto-detects its layout (a MANIFEST wins over snapshot.db), and
+	// opening a snapshot-layout directory with Paged set converts it.
+	Paged bool
+
+	// CacheBytes is the paged-mode buffer-cache budget in bytes; 0 uses
+	// the default (64 MiB). Ignored unless the database is paged.
+	CacheBytes int64
 }
 
 // WALStats reports durability-subsystem activity, for benchmarks and the
@@ -114,7 +127,29 @@ func Open(dir string, opts DurabilityOptions) (*DB, error) {
 	db.dopts = opts
 	db.lock = lock
 
-	snapSeq, err := db.loadSnapshot(filepath.Join(dir, snapFileName))
+	// Layout detection: a MANIFEST marks the paged layout regardless of
+	// opts.Paged, so directories written by a paged instance reopen
+	// correctly even if the caller forgets the flag.
+	manPath := filepath.Join(dir, manifestName)
+	_, manErr := os.Stat(manPath)
+	hasManifest := manErr == nil
+	if opts.Paged || hasManifest {
+		pagesDir := filepath.Join(dir, pagesDirName)
+		if err := os.MkdirAll(pagesDir, 0o700); err != nil {
+			return nil, fmt.Errorf("sqldb: creating pages dir: %w", err)
+		}
+		db.pager = newPager(pagesDir, opts.CacheBytes)
+	}
+
+	var snapSeq uint64
+	if hasManifest {
+		snapSeq, err = db.loadPaged(manPath)
+	} else {
+		// Resident snapshot, or an empty directory. With Paged set this is
+		// a layout conversion: the snapshot loads with every page dirty and
+		// the checkpoint below writes it all out as segments.
+		snapSeq, err = db.loadSnapshot(filepath.Join(dir, snapFileName))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -161,6 +196,21 @@ func Open(dir string, opts DurabilityOptions) (*DB, error) {
 		}
 		db.wal = w
 	}
+	if db.pager != nil && !hasManifest {
+		// Convert the loaded state to the paged layout now, so the manifest
+		// exists from the first moment and the old snapshot can be retired.
+		if err := db.checkpointPagedLocked(); err != nil {
+			return nil, err
+		}
+		if err := os.Remove(filepath.Join(dir, snapFileName)); err == nil && !opts.NoFsync {
+			if err := fsutil.SyncDir(dir); err != nil {
+				return nil, err
+			}
+		}
+		// The conversion loaded everything resident; settle to the budget.
+		db.pager.evictToBudget()
+	}
+	db.startCheckpointLoop()
 	ok = true
 	return db, nil
 }
@@ -170,6 +220,10 @@ func Open(dir string, opts DurabilityOptions) (*DB, error) {
 // write statements return an error. Close is a no-op on an in-memory
 // database.
 func (db *DB) Close() error {
+	// Stop the background checkpointer first, before taking db.mu: an
+	// in-flight checkpoint holds (or is about to take) the lock, and
+	// stopping waits for it to finish.
+	db.stopCheckpointLoop()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal == nil {
@@ -215,6 +269,9 @@ func (l *dirLock) release() {
 // ordered by the database lock — its batch carries a sequence number past
 // the snapshot's and replays on top. A no-op on an in-memory database.
 func (db *DB) Checkpoint() error {
+	if db.pager != nil {
+		return db.checkpointPaged()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal == nil {
@@ -226,6 +283,7 @@ func (db *DB) Checkpoint() error {
 
 // checkpointLocked snapshots and truncates under an exclusive db.mu.
 func (db *DB) checkpointLocked() error {
+	start := time.Now()
 	if err := db.writeSnapshot(); err != nil {
 		return err
 	}
@@ -234,30 +292,30 @@ func (db *DB) checkpointLocked() error {
 	}
 	db.snapSeq = db.walSeq
 	db.checkpoints++
+	atomic.AddInt64(&db.ckptPauseNanos, int64(time.Since(start)))
 	return nil
 }
 
-// maybeAutoCheckpoint runs a checkpoint when the WAL has outgrown the
-// configured threshold. Called after a commit, without the database lock
-// (it takes the lock itself once the cheap size probe says it must).
-func (db *DB) maybeAutoCheckpoint() error {
+// maybeAutoCheckpoint kicks the background checkpointer when the WAL has
+// outgrown the configured threshold. Called after a commit; the cheap size
+// probe is the only work left on the commit path — the snapshot or segment
+// writing happens on the checkpoint goroutine, so no committer ever pays
+// for it in-line.
+func (db *DB) maybeAutoCheckpoint() {
 	if db.wal == nil || db.dopts.CheckpointBytes < 0 {
-		return nil
+		return
 	}
 	limit := db.dopts.CheckpointBytes
 	if limit == 0 {
 		limit = defaultCheckpointBytes
 	}
 	if atomic.LoadInt64(&db.wal.size) < limit {
-		return nil
+		return
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if atomic.LoadInt64(&db.wal.size) < limit {
-		return nil // another committer checkpointed first
+	select {
+	case db.ckptKick <- struct{}{}:
+	default: // one is already pending
 	}
-	//cryptdb:vet-ok lockorder: a checkpoint snapshots a frozen state; db.mu must span snapshot write + WAL reset
-	return db.checkpointLocked()
 }
 
 // snapshotOps serializes the whole database — schema, indexes, rows (with
@@ -275,36 +333,61 @@ func (db *DB) snapshotOps() []byte {
 	var ops []byte
 	for _, name := range names {
 		t := db.tables[name]
-		cols := make([]walColDef, len(t.Cols))
-		for i, c := range t.Cols {
-			cols[i] = walColDef{name: c.Name, typ: c.Type, primary: c.Primary}
-		}
-		ops = appendCreateTableOp(ops, name, cols)
-		// Indexes: primaries were folded into plain unique hash indexes
-		// at creation, so re-emitting explicit index ops reproduces them.
-		idxCols := make([]string, 0, len(t.indexes))
-		for c := range t.indexes {
-			idxCols = append(idxCols, c)
-		}
-		sort.Strings(idxCols)
-		for _, c := range idxCols {
-			ops = appendCreateIndexOp(ops, name, c, t.indexes[c].unique, false)
-		}
-		ordCols := make([]string, 0, len(t.ordIndexes))
-		for c := range t.ordIndexes {
-			ordCols = append(ordCols, c)
-		}
-		sort.Strings(ordCols)
-		for _, c := range ordCols {
-			ops = appendCreateIndexOp(ops, name, c, false, true)
-		}
+		ops = appendTableSchemaOps(ops, name, t)
 		// Rows keep their slots: WAL records appended after this snapshot
 		// address rows by slot, so the snapshot must preserve them.
-		for slot, row := range t.rows {
-			if row != nil {
-				ops = appendInsertOp(ops, name, slot, row)
-			}
-		}
+		t.scan(func(slot int, row []Value) bool {
+			ops = appendInsertOp(ops, name, slot, row)
+			return true
+		})
+	}
+	if db.meta != nil {
+		ops = appendMetaOp(ops, db.meta)
+	}
+	return ops
+}
+
+// appendTableSchemaOps emits the ops that recreate one table's schema and
+// indexes (no rows), in a deterministic order.
+func appendTableSchemaOps(ops []byte, name string, t *Table) []byte {
+	cols := make([]walColDef, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = walColDef{name: c.Name, typ: c.Type, primary: c.Primary}
+	}
+	ops = appendCreateTableOp(ops, name, cols)
+	// Indexes: primaries were folded into plain unique hash indexes
+	// at creation, so re-emitting explicit index ops reproduces them.
+	idxCols := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		idxCols = append(idxCols, c)
+	}
+	sort.Strings(idxCols)
+	for _, c := range idxCols {
+		ops = appendCreateIndexOp(ops, name, c, t.indexes[c].unique, false)
+	}
+	ordCols := make([]string, 0, len(t.ordIndexes))
+	for c := range t.ordIndexes {
+		ordCols = append(ordCols, c)
+	}
+	sort.Strings(ordCols)
+	for _, c := range ordCols {
+		ops = appendCreateIndexOp(ops, name, c, false, true)
+	}
+	return ops
+}
+
+// schemaOps serializes every table's schema plus the committed meta blob —
+// the row-free counterpart of snapshotOps, embedded in the paged layout's
+// manifest (rows live in page segments). Callers hold db.mu (either side).
+func (db *DB) schemaOps() []byte {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var ops []byte
+	for _, name := range names {
+		ops = appendTableSchemaOps(ops, name, db.tables[name])
 	}
 	if db.meta != nil {
 		ops = appendMetaOp(ops, db.meta)
@@ -355,6 +438,7 @@ func (db *DB) writeSnapshot() error {
 		os.Remove(tmp)
 		return fmt.Errorf("sqldb: snapshot rename: %w", err)
 	}
+	atomic.StoreInt64(&db.lastCkptBytes, int64(len(buf)))
 	// The rename is only durable once the directory entry is synced; a
 	// failure here is a real durability error, not a best-effort detail —
 	// the previous snapshot may be gone while the new name is not yet

@@ -29,11 +29,13 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fsutil"
 	"repro/internal/sqlparser"
 )
 
@@ -382,6 +384,7 @@ func (db *DB) applyOp(op walOp) error {
 			cols[i] = Column{Name: c.name, Type: c.typ, Primary: c.primary}
 		}
 		t := newTable(op.table, cols)
+		db.adoptTable(t)
 		for _, c := range op.cols {
 			if c.primary {
 				if err := t.addIndex(c.name, true); err != nil {
@@ -401,8 +404,12 @@ func (db *DB) applyOp(op walOp) error {
 		}
 		return t.addIndex(op.column, op.unique)
 	case walOpDropTable:
-		if _, ok := db.tables[op.table]; !ok {
+		t, ok := db.tables[op.table]
+		if !ok {
 			return fmt.Errorf("sqldb: wal replay: no table %s", op.table)
+		}
+		if db.pager != nil {
+			db.pager.forgetTable(t)
 		}
 		delete(db.tables, op.table)
 		return nil
@@ -424,7 +431,7 @@ func (db *DB) applyOp(op walOp) error {
 		if !ok {
 			return fmt.Errorf("sqldb: wal replay: no table %s", op.table)
 		}
-		if op.slot >= len(t.rows) || t.rows[op.slot] == nil {
+		if op.slot >= t.slotCount() || t.rowAt(op.slot) == nil {
 			return fmt.Errorf("sqldb: wal replay: update of empty slot %d in %s", op.slot, op.table)
 		}
 		t.updateCellUnchecked(op.slot, op.pos, op.val)
@@ -795,6 +802,71 @@ func (w *walWriter) reset() error {
 	// writer is cured. Commits that failed during the poisoned window
 	// applied in memory without ever reaching a tap, so any subscriber now
 	// has a gap: invalidate them (they must resync via snapshot).
+	if w.failed != nil {
+		for _, t := range w.taps {
+			t.invalidate()
+		}
+	}
+	w.failed = nil
+	return nil
+}
+
+// truncateTo rewrites the log keeping only frames with seq > keep, after an
+// incremental checkpoint whose manifest covers everything up to keep. Unlike
+// reset, commits may have landed since the checkpoint captured its state —
+// their frames must survive the truncation, and in one contiguous log so
+// replication backfill (readFrames on this same path) keeps working. The
+// rewrite is atomic: temp file + rename, so a crash leaves either log, both
+// correct to replay against the new manifest. As with reset, a successful
+// truncation cures a poisoned writer — the manifest captured every state the
+// damaged frames described — but subscribers must resync.
+func (w *walWriter) truncateTo(keep uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("sqldb: wal is closed")
+	}
+	w.drainLocked()
+	// A torn frame left by the poisoning failure decodes as damage and is
+	// dropped here; its batch carries seq <= keep (the checkpoint ran after
+	// it applied), so the manifest already covers it.
+	frames, err := readFrames(w.path, keep)
+	if err != nil {
+		return fmt.Errorf("sqldb: wal truncate scan: %w", err)
+	}
+	tmp := w.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("sqldb: wal truncate: %w", err)
+	}
+	if _, err := f.Write(newWALHeader()); err == nil {
+		_, err = f.Write(frames)
+	}
+	if err == nil && w.fsync {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sqldb: wal truncate write: %w", err)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sqldb: wal truncate rename: %w", err)
+	}
+	if w.fsync {
+		if err := fsutil.SyncDir(filepath.Dir(w.path)); err != nil {
+			f.Close()
+			return err
+		}
+		atomic.AddInt64(&w.syncs, 1)
+	}
+	old := w.f
+	w.f = f
+	//cryptdb:vet-ok durabilityerr: old descriptor is fully synced and replaced; nothing left to flush
+	old.Close()
+	atomic.StoreInt64(&w.size, int64(walHeaderLen+len(frames)))
 	if w.failed != nil {
 		for _, t := range w.taps {
 			t.invalidate()

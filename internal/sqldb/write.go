@@ -122,7 +122,7 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt, params []Value) (*Result, erro
 
 	affected := 0
 	for _, slot := range slots {
-		row := t.rows[slot]
+		row := t.rowAt(slot)
 		if row == nil {
 			continue
 		}
@@ -210,7 +210,7 @@ func (db *DB) matchSlots(t *Table, sc *scope, where sqlparser.Expr, params []Val
 	}
 	var out []int
 	for _, slot := range candidates {
-		row := t.rows[slot]
+		row := t.rowAt(slot)
 		if row == nil {
 			continue
 		}

@@ -134,6 +134,11 @@ func OpenFollower(dir, primaryAddr string, opts sqldb.DurabilityOptions) (*Follo
 
 	var eng store.Engine
 	if isSharded {
+		// opts.CacheBytes is the engine-wide budget; each shard gets an
+		// equal slice, matching the primary-side convention.
+		if shards > 1 && opts.CacheBytes > 0 {
+			opts.CacheBytes /= int64(shards)
+		}
 		se, err := sharded.Open(dir, shards, opts)
 		if err != nil {
 			return nil, err

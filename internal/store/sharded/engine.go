@@ -885,6 +885,18 @@ func (e *Engine) Stats() store.Stats {
 		out.WAL.Checkpoints += ws.Checkpoints
 		out.SizeBytes += sh.SizeBytes()
 		out.BusyNanos += sh.BusyNanos()
+		cs := sh.CacheStats()
+		out.Cache.Hits += cs.Hits
+		out.Cache.Misses += cs.Misses
+		out.Cache.Evictions += cs.Evictions
+		out.Cache.ResidentBytes += cs.ResidentBytes
+		out.Cache.BudgetBytes += cs.BudgetBytes
+		out.Cache.ResidentPages += cs.ResidentPages
+		out.Cache.HotPages += cs.HotPages
+		out.Cache.DirtyPages += cs.DirtyPages
+		out.DiskBytes += sh.DiskSizeBytes()
+		out.CheckpointPauseNanos += sh.CheckpointPauseNanos()
+		out.LastCheckpointBytes += sh.LastCheckpointBytes()
 	}
 	out.Plan.GroupPushdowns += atomic.LoadInt64(&e.groupPushdowns)
 	return out

@@ -92,11 +92,15 @@ func (e *Engine) Shards() int { return 1 }
 // Stats implements store.Engine.
 func (e *Engine) Stats() store.Stats {
 	return store.Stats{
-		Shards:    1,
-		Plan:      e.db.PlanCounters(),
-		WAL:       e.db.WALStats(),
-		SizeBytes: e.db.SizeBytes(),
-		BusyNanos: e.db.BusyNanos(),
+		Shards:               1,
+		Plan:                 e.db.PlanCounters(),
+		WAL:                  e.db.WALStats(),
+		SizeBytes:            e.db.SizeBytes(),
+		BusyNanos:            e.db.BusyNanos(),
+		Cache:                e.db.CacheStats(),
+		DiskBytes:            e.db.DiskSizeBytes(),
+		CheckpointPauseNanos: e.db.CheckpointPauseNanos(),
+		LastCheckpointBytes:  e.db.LastCheckpointBytes(),
 	}
 }
 

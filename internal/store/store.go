@@ -67,6 +67,20 @@ type Stats struct {
 	WAL       sqldb.WALStats
 	SizeBytes int
 	BusyNanos int64
+	// Cache aggregates buffer-cache activity when the engine runs the
+	// paged layout (all zero for resident engines). Resident bytes and
+	// on-disk bytes are reported separately on purpose: the former is
+	// bounded by the cache budget, the latter grows with the data.
+	Cache sqldb.CacheStats
+	// DiskBytes is the on-disk footprint: page segments (or snapshot)
+	// plus the live WAL, summed across shards.
+	DiskBytes int64
+	// CheckpointPauseNanos is cumulative time commits were stalled by
+	// checkpoints (capture+install phases for the paged layout, the whole
+	// snapshot write for the resident one); LastCheckpointBytes is what
+	// the most recent checkpoint wrote.
+	CheckpointPauseNanos int64
+	LastCheckpointBytes  int64
 	// Followers lists per-follower replication progress when this engine
 	// is a replicating primary (empty otherwise).
 	Followers []FollowerStat
