@@ -103,6 +103,7 @@ func figJoins() error {
 		}
 	}
 
+	compiledRows := map[string]float64{} // "query/store" -> rows/sec, compiled arms
 	for _, q := range queries {
 		for _, st := range stores {
 			for _, mode := range []struct {
@@ -137,6 +138,9 @@ func figJoins() error {
 				name := fmt.Sprintf("%s/%s/%s", q.key, st.key, mode.key)
 				fmt.Printf("%-34s %12s %14.0f %30s\n", name, perOp.Round(time.Microsecond), rowsPerSec, delta)
 				recordArm(name, float64(perOp.Nanoseconds()), rowsPerSec)
+				if mode.compiled {
+					compiledRows[q.key+"/"+st.key] = rowsPerSec
+				}
 			}
 		}
 		// Leave both engines in the default configuration.
@@ -151,6 +155,24 @@ func figJoins() error {
 	fmt.Println("Interpreted=0) and join via hash tables; on the sharded store, grouped")
 	fmt.Println("queries over the routing-compatible shapes decompose per shard")
 	fmt.Println("(GroupPushdowns) while the cross-shard join gathers and joins centrally.")
+
+	// The cross-shard equijoin historically ran ~4x behind the single store:
+	// the gather rebuilt the transient table's indexes one CREATE INDEX at a
+	// time and executed the final join serially. With parallel index builds
+	// and morsel-parallel final execution the gap should close toward the
+	// gather's unavoidable copy cost — flag it if it reopens.
+	if s, sh := compiledRows["equijoin/single"], compiledRows["equijoin/sharded-4"]; s > 0 && sh > 0 {
+		ratio := s / sh
+		fmt.Printf("\nequijoin compiled: single %.0f rows/s vs sharded-4 %.0f rows/s (%.1fx)\n", s, sh, ratio)
+		switch {
+		case ratio > 4 && runtime.GOMAXPROCS(0) > 1:
+			fmt.Printf("WARNING: sharded-4 equijoin more than 4x behind single — the gather\n")
+			fmt.Printf("path has likely regressed (serial index rebuilds or serial final exec).\n")
+		case runtime.GOMAXPROCS(0) == 1:
+			fmt.Printf("(single CPU: the gather's parallel index builds and morsel-parallel\n")
+			fmt.Printf("final join run serially here, so the remaining gap is copy cost.)\n")
+		}
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@
 //	cryptdb-bench -fig groupcommit concurrent sessions + WAL group commit
 //	cryptdb-bench -fig shardscale sharded store write scaling (1/2/4/8 shards)
 //	cryptdb-bench -fig joins    compiled vs interpreted joins and GROUP BY
+//	cryptdb-bench -fig parallelexec morsel-parallel workers sweep (resident + paged)
 //	cryptdb-bench -fig all      everything
 //
 // With -json, each figure also writes BENCH_<fig>.json (ns/op, rows/s and
@@ -32,28 +33,29 @@ import (
 )
 
 var figures = map[string]func() error{
-	"7":           fig7,
-	"8":           fig8,
-	"9":           fig9,
-	"10":          fig10,
-	"11":          fig11,
-	"12":          fig12,
-	"13":          fig13,
-	"14":          fig14,
-	"15":          fig15,
-	"storage":     figStorage,
-	"adjust":      figAdjust,
-	"ablation":    figAblation,
-	"bulkload":    figBulkLoad,
-	"rangescan":   figRangeScan,
-	"durability":  figDurability,
-	"groupcommit": figGroupCommit,
-	"shardscale":  figShardScale,
-	"joins":       figJoins,
-	"replication": figReplication,
+	"7":            fig7,
+	"8":            fig8,
+	"9":            fig9,
+	"10":           fig10,
+	"11":           fig11,
+	"12":           fig12,
+	"13":           fig13,
+	"14":           fig14,
+	"15":           fig15,
+	"storage":      figStorage,
+	"adjust":       figAdjust,
+	"ablation":     figAblation,
+	"bulkload":     figBulkLoad,
+	"rangescan":    figRangeScan,
+	"durability":   figDurability,
+	"groupcommit":  figGroupCommit,
+	"shardscale":   figShardScale,
+	"joins":        figJoins,
+	"parallelexec": figParallelExec,
+	"replication":  figReplication,
 }
 
-var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit", "shardscale", "joins", "replication"}
+var order = []string{"7", "8", "9", "10", "11", "12", "13", "14", "15", "storage", "adjust", "ablation", "bulkload", "rangescan", "durability", "groupcommit", "shardscale", "joins", "parallelexec", "replication"}
 
 func main() {
 	fig := flag.String("fig", "all", "figure/table to regenerate (7..15, storage, adjust, ablation, bulkload, rangescan, durability, groupcommit, shardscale, joins, all)")

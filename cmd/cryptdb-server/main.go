@@ -101,7 +101,12 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "maximum concurrent client sessions; 0 = unlimited")
 	replicateTo := flag.String("replicate-to", "", "also listen on this address for replication followers and ship the WAL to them (requires -data-dir)")
 	replicaOf := flag.String("replica-of", "", "run as a read-only follower of the primary at this address (requires -data-dir with the primary's proxy-keys.json)")
+	execWorkers := flag.Int("exec-workers", 0, "intra-query worker count for compiled execution (morsel parallelism), per statement; 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
+
+	// Set before the engine opens so every database the process creates —
+	// shards, replication followers, gather temporaries — inherits it.
+	sqldb.SetDefaultExecWorkers(*execWorkers)
 
 	srv, err := newServer(config{
 		addr:         *addr,
@@ -371,8 +376,9 @@ func (s *server) run() error {
 	// Report engine-wide work before closing: counters sum across every
 	// shard (reading shard 0 alone would under-report).
 	st := s.eng.Stats()
-	log.Printf("cryptdb-server: store stats: shards=%d wal-batches=%d wal-syncs=%d checkpoints=%d size=%dB busy=%dms",
-		st.Shards, st.WAL.Batches, st.WAL.Syncs, st.WAL.Checkpoints, st.SizeBytes, st.BusyNanos/1e6)
+	log.Printf("cryptdb-server: store stats: shards=%d wal-batches=%d wal-syncs=%d checkpoints=%d size=%dB busy=%dms parallel-pipelines=%d morsels=%d exec-workers=%d",
+		st.Shards, st.WAL.Batches, st.WAL.Syncs, st.WAL.Checkpoints, st.SizeBytes, st.BusyNanos/1e6,
+		st.Plan.ParallelPipelines, st.Plan.Morsels, st.Plan.ExecWorkers)
 	for _, f := range st.Followers {
 		log.Printf("cryptdb-server: follower %s shard %d: acked seq %d of %d (lag %d)",
 			f.Remote, f.Shard, f.AckedSeq, f.PrimarySeq, f.PrimarySeq-f.AckedSeq)

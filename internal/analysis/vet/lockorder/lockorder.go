@@ -347,7 +347,17 @@ func (w *regionWalker) stmt(s ast.Stmt) {
 			w.funcLit(lit)
 		}
 	case *ast.GoStmt:
-		// A spawned goroutine does not inherit our held set.
+		// A spawned goroutine does not inherit our held set — but the spawn
+		// itself is a handoff hazard: if the goroutine may (re)acquire a
+		// lock the spawner still holds, and the spawner joins the pool
+		// under that lock (worker fan-out, WaitGroup.Wait), the pair
+		// deadlocks. Even read-read on an RWMutex wedges once a writer
+		// queues between the two acquisitions. The morsel worker pool
+		// depends on this: workers run under the *spawner's* statement
+		// lock and must never touch db.mu themselves.
+		if len(w.held) > 0 {
+			w.checkSpawn(s)
+		}
 		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
 			w.funcLit(lit)
 		}
@@ -381,6 +391,50 @@ func (w *regionWalker) stmt(s ast.Stmt) {
 				}
 			}
 		}
+	}
+}
+
+// checkSpawn flags a goroutine launched while locks are held whose body —
+// or any function it statically reaches — may acquire one of those same
+// locks. The spawned side's acquisitions are collected the same way
+// per-function facts are: direct Lock/RLock calls plus the transitive
+// may-acquire sets of module-internal callees.
+func (w *regionWalker) checkSpawn(s *ast.GoStmt) {
+	acquired := make(map[types.Object]token.Pos)
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if obj, method := lockObj(w.pkg, call); obj != nil {
+				if method == "Lock" || method == "RLock" {
+					acquired[obj] = call.Pos()
+				}
+				return true
+			}
+			if fn := vet.CalleeFunc(w.pkg.Info, call); fn != nil {
+				for o := range w.mayAcquire[fn] {
+					acquired[o] = call.Pos()
+				}
+			}
+			return true
+		})
+	} else if fn := vet.CalleeFunc(w.pkg.Info, s.Call); fn != nil {
+		for o := range w.mayAcquire[fn] {
+			acquired[o] = s.Call.Pos()
+		}
+	}
+	for o, pos := range acquired {
+		if _, heldHere := w.held[o]; !heldHere {
+			continue
+		}
+		w.findings = append(w.findings, vet.Finding{
+			Pos:      w.m.Fset.Position(pos),
+			Analyzer: name,
+			Message: fmt.Sprintf("goroutine spawned while %s is held may reacquire it — if the spawner joins under the lock the handoff deadlocks (a queued writer wedges even RLock/RLock); release first or keep the worker off the lock",
+				lockLabel(w.m, o)),
+		})
 	}
 }
 

@@ -87,6 +87,47 @@ func rangeCopy(engines []Engine) int {
 	return total
 }
 
+// spawnUnderLock launches a worker that reacquires the lock the spawner
+// still holds — the worker-pool handoff deadlock (a queued writer wedges
+// the pair even when both sides only read).
+func (e *Engine) spawnUnderLock() {
+	e.rw.RLock()
+	done := make(chan struct{})
+	go func() {
+		e.rw.RLock() // want "goroutine spawned while rw .* is held may reacquire it"
+		e.rw.RUnlock()
+		close(done)
+	}()
+	<-done
+	e.rw.RUnlock()
+}
+
+// reacquire is a named helper that takes the lock; spawning it under the
+// same lock is the same hazard through a static call.
+func (e *Engine) reacquire() {
+	e.rw.RLock()
+	e.rw.RUnlock()
+}
+
+func (e *Engine) spawnHelperUnderLock() {
+	e.rw.RLock()
+	go e.reacquire() // want "goroutine spawned while rw .* is held may reacquire it"
+	e.rw.RUnlock()
+}
+
+// spawnOffLock is the fixed worker-pool form: workers run under the
+// spawner's lock but never touch it themselves.
+func (e *Engine) spawnOffLock() {
+	e.rw.RLock()
+	done := make(chan struct{})
+	go func() {
+		_ = e.n
+		close(done)
+	}()
+	<-done
+	e.rw.RUnlock()
+}
+
 // stats mixes an atomic increment with a plain read of the same field.
 type stats struct {
 	commits int64

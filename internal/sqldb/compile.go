@@ -71,6 +71,11 @@ type exprCompiler struct {
 	db     *DB
 	sc     *scope
 	aggIdx map[string]int
+	// sawUDF records that a compiled expression calls a user-registered
+	// function (scalar or aggregate). UDFs give no thread-safety contract,
+	// so a plan touching one is excluded from parallel execution
+	// (compiledSelect.noPar).
+	sawUDF bool
 }
 
 func (c *exprCompiler) compile(e sqlparser.Expr) (compiledExpr, bool) {
@@ -276,6 +281,7 @@ func (c *exprCompiler) compileFuncCall(x *sqlparser.FuncCall) (compiledExpr, boo
 	if !ok {
 		return nil, false // unknown function: interpreter errors
 	}
+	c.sawUDF = true
 	args := make([]compiledExpr, len(x.Args))
 	for i, a := range x.Args {
 		ce, ok := c.compile(a)
@@ -499,7 +505,11 @@ type compiledSelect struct {
 	cols    []string
 	proj    []compiledExpr
 	orderBy []compiledOrder
-	projMem []Value // chunk allocator for result rows (projectInto)
+	projMem projAlloc // chunk allocator for result rows (projectInto)
+
+	// noPar excludes this plan from morsel-parallel execution: some
+	// compiled expression calls a UDF (parallel.go).
+	noPar bool
 }
 
 // aggSpec builds one aggregate accumulator per group.
@@ -605,6 +615,7 @@ func (db *DB) compileSelect(s *sqlparser.SelectStmt, sc *scope, aggCalls []*sqlp
 		}
 		cp.orderBy = append(cp.orderBy, compiledOrder{key: ke, desc: item.Desc})
 	}
+	cp.noPar = rowc.sawUDF || outc.sawUDF
 	return cp, true
 }
 
@@ -622,6 +633,7 @@ func (db *DB) compileAgg(rowc *exprCompiler, fc *sqlparser.FuncCall) (aggSpec, b
 			}
 			args[i] = ce
 		}
+		rowc.sawUDF = true // AggState carries opaque cross-row state: not mergeable
 		return aggSpec{newAcc: func() vAgg { return &cUDFAcc{args: args, state: factory()} }}, true
 	}
 	if fc.Name == "COUNT" && fc.Star {

@@ -126,10 +126,12 @@ type hashJoinSource struct {
 }
 
 // pairFunc returns the emit step shared by the probe paths: join the build
-// row into the tuple, apply the residual ON filter, batch.
-func (h *hashJoinSource) pairFunc(out *batcher, rev *execEnv) func(tuple, []Value) error {
+// row into a fresh tuple, apply the residual ON filter, hand downstream.
+// newTuple/add abstract the downstream so the serial batcher and the
+// parallel morsel pipelines (parallel.go) share the same join semantics.
+func (h *hashJoinSource) pairFunc(newTuple func() tuple, add func(tuple) error, rev *execEnv) func(tuple, []Value) error {
 	return func(tup tuple, brow []Value) error {
-		nt := out.newTuple()
+		nt := newTuple()
 		copy(nt, tup)
 		nt[h.ti] = brow
 		if h.residual != nil {
@@ -142,11 +144,74 @@ func (h *hashJoinSource) pairFunc(out *batcher, rev *execEnv) func(tuple, []Valu
 				return nil
 			}
 		}
-		return out.add(nt)
+		return add(nt)
 	}
 }
 
-func (h *hashJoinSource) run(emit func([]tuple) error) error {
+// builtTable is one hash join's prepared build side. Either a borrowed
+// persistent hash index (idx != nil: the build side is an unpruned full
+// scan over a single indexed key column, so the index *is* the build
+// table) or a transient table built from the access path, stored in one or
+// more stripes: the serial build fills a single stripe, the parallel build
+// (parallel.go) fills buildStripes keyed by a hash of the key bytes so
+// stripes build concurrently without locks.
+type builtTable struct {
+	// Index mode.
+	idx      *hashIndex
+	idxKind  Kind
+	idxHomog bool
+
+	// Build mode.
+	stripes     []map[string][][]Value
+	stripeMask  uint32    // 0 with a single stripe
+	rows        [][]Value // build rows with a fully non-NULL key, slot order
+	buildKinds  []Kind
+	homogeneous bool
+
+	total int // all build rows, including NULL-key ones
+}
+
+// lookup returns the build rows under an encoded key, in slot order.
+func (bt *builtTable) lookup(key []byte) [][]Value {
+	s := 0
+	if bt.stripeMask != 0 {
+		s = int(fnv32a(key) & bt.stripeMask)
+	}
+	return bt.stripes[s][string(key)]
+}
+
+// fnv32a hashes key bytes for stripe selection (FNV-1a).
+func fnv32a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// probeScratch is the per-probe-pipeline scratch state of one hash join:
+// evaluation environments, decoded key values and the key encoding buffer.
+// The serial run owns one; each parallel worker owns one per join step.
+type probeScratch struct {
+	pev, rev  execEnv
+	probeVals []Value
+	keyBuf    []byte
+}
+
+func (h *hashJoinSource) newProbeScratch() *probeScratch {
+	return &probeScratch{
+		pev:       execEnv{params: h.params},
+		rev:       execEnv{params: h.params},
+		probeVals: make([]Value, len(h.keys)),
+	}
+}
+
+// prepare runs the build phase once and tallies the join in the planner
+// counters (hashJoins for a trusted-key build, nestedLoops for a
+// heterogeneous one that degrades to per-pair comparison). workers > 1
+// builds large unpruned build sides morsel-parallel (parallel.go).
+func (h *hashJoinSource) prepare(workers int) (*builtTable, error) {
 	// When the key is one column, the build side is an unpruned full scan
 	// and that column already has a hash index, the index *is* the build
 	// table: probe it directly instead of rebuilding the same map per
@@ -154,19 +219,31 @@ func (h *hashJoinSource) run(emit func([]tuple) error) error {
 	// rows the plan's sargs exclude.)
 	if len(h.keys) == 1 && h.acc.kind == accessScan {
 		if idx := h.t.indexByPos(h.keys[0].buildPos); idx != nil {
-			return h.runIndexProbe(emit, idx)
+			kind, homog := idx.soleKind()
+			if homog {
+				atomic.AddInt64(&h.db.hashJoins, 1)
+			} else {
+				atomic.AddInt64(&h.db.nestedLoops, 1)
+			}
+			return &builtTable{idx: idx, idxKind: kind, idxHomog: homog, total: h.t.RowCount()}, nil
 		}
 	}
+	if workers > 1 && h.acc.kind == accessScan && h.t.live >= parallelMinRows {
+		return h.buildParallel(workers)
+	}
+	return h.buildSerial()
+}
 
-	// Build phase.
-	m := make(map[string][][]Value)
-	var rows [][]Value // all build rows with a fully non-NULL key
-	total := 0         // all build rows, including NULL-key ones
+// buildSerial hashes the build side's candidate rows on the equi key in a
+// single stripe, in slot order.
+func (h *hashJoinSource) buildSerial() (*builtTable, error) {
+	bt := &builtTable{stripes: []map[string][][]Value{make(map[string][][]Value)}}
+	m := bt.stripes[0]
 	kinds := make([][4]int, len(h.keys))
 	vals := make([]Value, len(h.keys))
 	var keyBuf []byte
 	h.acc.iterate(h.t, func(_ int, row []Value) bool {
-		total++
+		bt.total++
 		for i, k := range h.keys {
 			v := row[k.buildPos]
 			if v.IsNull() {
@@ -181,167 +258,161 @@ func (h *hashJoinSource) run(emit func([]tuple) error) error {
 			keyBuf = append(keyBuf, 0)
 		}
 		m[string(keyBuf)] = append(m[string(keyBuf)], row)
-		rows = append(rows, row)
+		bt.rows = append(bt.rows, row)
 		return true
 	})
+	h.finishBuild(bt, kinds)
+	return bt, nil
+}
 
-	buildKinds := make([]Kind, len(h.keys))
-	homogeneous := true
+// finishBuild derives the per-column build kinds, decides the trusted-key
+// vs per-pair probe mode, and tallies the join.
+func (h *hashJoinSource) finishBuild(bt *builtTable, kinds [][4]int) {
+	bt.buildKinds = make([]Kind, len(h.keys))
+	bt.homogeneous = true
 	for i := range kinds {
 		k, ok := soleKindOf(kinds[i])
 		if !ok {
-			homogeneous = false
+			bt.homogeneous = false
 		}
-		buildKinds[i] = k
+		bt.buildKinds[i] = k
 	}
-	if homogeneous {
+	if bt.homogeneous {
 		atomic.AddInt64(&h.db.hashJoins, 1)
 	} else {
 		atomic.AddInt64(&h.db.nestedLoops, 1)
 	}
+}
 
-	out := newBatcher(h.ntabs, emit)
-	pev := &execEnv{params: h.params}
-	rev := &execEnv{params: h.params}
-	probeVals := make([]Value, len(h.keys))
-	pair := h.pairFunc(out, rev)
-
-	err := h.inner.run(func(batch []tuple) error {
-		if total == 0 {
-			// No build rows: no pairs exist, so — like the interpreter's
-			// nested loop — the probe-side key expressions are never
-			// evaluated.
-			return nil
+// probeTuple matches one probe tuple against the prepared build table and
+// feeds each surviving pair to pair. Coercion semantics are preserved the
+// same way the hash indexes do it (eqSlots): the key lookup is only
+// trusted when each build column holds a single value kind and the probe
+// value coerces into it; otherwise the probe row falls back to comparing
+// against every build row, which reproduces the interpreter's per-pair `=`
+// behavior — including NULL never matching and cross-kind comparison
+// errors.
+func (h *hashJoinSource) probeTuple(bt *builtTable, s *probeScratch, tup tuple, pair func(tuple, []Value) error) error {
+	if bt.total == 0 {
+		// No build rows: no pairs exist, so — like the interpreter's
+		// nested loop — the probe-side key expressions are never
+		// evaluated.
+		return nil
+	}
+	s.pev.tup = tup
+	if bt.idx != nil {
+		return h.probeIndex(bt, s, tup, pair)
+	}
+	isNull := false
+	for i, k := range h.keys {
+		v, err := k.probe(&s.pev)
+		if err != nil {
+			return err
 		}
-		for _, tup := range batch {
-			pev.tup = tup
-			isNull := false
-			for i, k := range h.keys {
-				v, err := k.probe(pev)
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					isNull = true
-					break
-				}
-				probeVals[i] = v
+		if v.IsNull() {
+			isNull = true
+			break
+		}
+		s.probeVals[i] = v
+	}
+	if isNull {
+		return nil // `=` with NULL matches nothing
+	}
+	if bt.homogeneous {
+		s.keyBuf = s.keyBuf[:0]
+		coerced := true
+		for i, v := range s.probeVals {
+			cv, ok := coerceOrdBound(v, bt.buildKinds[i])
+			if !ok {
+				coerced = false
+				break
 			}
-			if isNull {
-				continue // `=` with NULL matches nothing
-			}
-			if homogeneous {
-				keyBuf = keyBuf[:0]
-				coerced := true
-				for i, v := range probeVals {
-					cv, ok := coerceOrdBound(v, buildKinds[i])
-					if !ok {
-						coerced = false
-						break
-					}
-					keyBuf = cv.appendKey(keyBuf)
-					keyBuf = append(keyBuf, 0)
-				}
-				if coerced {
-					for _, brow := range m[string(keyBuf)] {
-						if err := pair(tup, brow); err != nil {
-							return err
-						}
-					}
-					continue
-				}
-			}
-			// Heterogeneous build kinds or an incoercible probe value:
-			// compare the key per build row, preserving per-pair coercion
-			// (and its errors) exactly as a nested loop would.
-			for _, brow := range rows {
-				match, err := h.pairKeyEqual(probeVals, brow)
-				if err != nil {
-					return err
-				}
-				if !match {
-					continue
-				}
+			s.keyBuf = cv.appendKey(s.keyBuf)
+			s.keyBuf = append(s.keyBuf, 0)
+		}
+		if coerced {
+			for _, brow := range bt.lookup(s.keyBuf) {
 				if err := pair(tup, brow); err != nil {
 					return err
 				}
 			}
+			return nil
 		}
-		return nil
-	})
+	}
+	// Heterogeneous build kinds or an incoercible probe value: compare the
+	// key per build row, preserving per-pair coercion (and its errors)
+	// exactly as a nested loop would.
+	for _, brow := range bt.rows {
+		match, err := h.pairKeyEqual(s.probeVals, brow)
+		if err != nil {
+			return err
+		}
+		if !match {
+			continue
+		}
+		if err := pair(tup, brow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeIndex probes the build table's persistent hash index. Semantics
+// match the build-and-probe path: the index maintains the same kind tally
+// (soleKind) and the probe coerces via coerceOrdBound, falling back to
+// per-row coercing comparison when the lookup cannot be trusted.
+func (h *hashJoinSource) probeIndex(bt *builtTable, s *probeScratch, tup tuple, pair func(tuple, []Value) error) error {
+	v, err := h.keys[0].probe(&s.pev)
 	if err != nil {
 		return err
 	}
-	return out.flush()
-}
-
-// runIndexProbe probes the build table's persistent hash index instead of
-// building a transient one. Semantics match the build-and-probe path: the
-// index maintains the same kind tally (soleKind) and the probe coerces via
-// coerceOrdBound, falling back to per-row coercing comparison when the
-// lookup cannot be trusted.
-func (h *hashJoinSource) runIndexProbe(emit func([]tuple) error, idx *hashIndex) error {
-	kind, homogeneous := idx.soleKind()
-	if homogeneous {
-		atomic.AddInt64(&h.db.hashJoins, 1)
-	} else {
-		atomic.AddInt64(&h.db.nestedLoops, 1)
+	if v.IsNull() {
+		return nil // `=` with NULL matches nothing
 	}
-
-	total := h.t.RowCount()
-	out := newBatcher(h.ntabs, emit)
-	pev := &execEnv{params: h.params}
-	rev := &execEnv{params: h.params}
-	pair := h.pairFunc(out, rev)
-	probeVals := make([]Value, 1)
-	var keyBuf []byte
-
-	err := h.inner.run(func(batch []tuple) error {
-		if total == 0 {
-			// No build rows: as in the build-and-probe path, the probe-side
-			// key expression is never evaluated.
+	if bt.idxHomog {
+		if bt.idxKind == KindNull {
+			return nil // all build keys NULL: nothing can match
+		}
+		if cv, ok := coerceOrdBound(v, bt.idxKind); ok {
+			s.keyBuf = cv.appendKey(s.keyBuf[:0])
+			for _, slot := range bt.idx.m[string(s.keyBuf)] {
+				if err := pair(tup, h.t.rowAt(slot)); err != nil {
+					return err
+				}
+			}
 			return nil
 		}
+	}
+	// Mixed build kinds or an incoercible probe value: per-row coercing
+	// comparison, as the interpreter's scan fallback does.
+	s.probeVals[0] = v
+	perr := error(nil)
+	h.t.scan(func(_ int, brow []Value) bool {
+		match, err := h.pairKeyEqual(s.probeVals[:1], brow)
+		if err == nil && match {
+			err = pair(tup, brow)
+		}
+		if err != nil {
+			perr = err
+			return false
+		}
+		return true
+	})
+	return perr
+}
+
+func (h *hashJoinSource) run(emit func([]tuple) error) error {
+	bt, err := h.prepare(1)
+	if err != nil {
+		return err
+	}
+	out := newBatcher(h.ntabs, emit)
+	s := h.newProbeScratch()
+	pair := h.pairFunc(out.newTuple, out.add, &s.rev)
+	err = h.inner.run(func(batch []tuple) error {
 		for _, tup := range batch {
-			pev.tup = tup
-			v, err := h.keys[0].probe(pev)
-			if err != nil {
+			if err := h.probeTuple(bt, s, tup, pair); err != nil {
 				return err
-			}
-			if v.IsNull() {
-				continue // `=` with NULL matches nothing
-			}
-			if homogeneous {
-				if kind == KindNull {
-					continue // all build keys NULL: nothing can match
-				}
-				if cv, ok := coerceOrdBound(v, kind); ok {
-					keyBuf = cv.appendKey(keyBuf[:0])
-					for _, slot := range idx.m[string(keyBuf)] {
-						if err := pair(tup, h.t.rowAt(slot)); err != nil {
-							return err
-						}
-					}
-					continue
-				}
-			}
-			// Mixed build kinds or an incoercible probe value: per-row
-			// coercing comparison, as the interpreter's scan fallback does.
-			probeVals[0] = v
-			perr := error(nil)
-			h.t.scan(func(_ int, brow []Value) bool {
-				match, err := h.pairKeyEqual(probeVals, brow)
-				if err == nil && match {
-					err = pair(tup, brow)
-				}
-				if err != nil {
-					perr = err
-					return false
-				}
-				return true
-			})
-			if perr != nil {
-				return perr
 			}
 		}
 		return nil
@@ -435,6 +506,9 @@ func (p *compiledSelect) run() (*Result, error) {
 	if p.hasSeed {
 		p.db.countAccess(p.seedAcc)
 	}
+	if res, err, ran := p.tryRunParallel(); ran {
+		return res, err
+	}
 	if p.grouped {
 		return p.runGrouped()
 	}
@@ -503,16 +577,28 @@ func (p *compiledSelect) sortItems(items []sortItem) error {
 	return sortErr
 }
 
-func (p *compiledSelect) projectInto(ev *execEnv, tup tuple, aggs []Value) ([]Value, error) {
-	ev.tup, ev.aggs = tup, aggs
-	// Result rows are carved from chunks: one allocation per batchSize rows
-	// instead of one per row.
-	n := len(p.proj)
-	if len(p.projMem) < n {
-		p.projMem = make([]Value, n*batchSize)
+// projAlloc carves result rows from chunks: one allocation per batchSize
+// rows instead of one per row. The compiledSelect owns one for serial
+// execution; each parallel worker owns its own (parallel.go).
+type projAlloc struct{ mem []Value }
+
+func (pa *projAlloc) alloc(n int) []Value {
+	if len(pa.mem) < n {
+		pa.mem = make([]Value, n*batchSize)
 	}
-	row := p.projMem[:n:n]
-	p.projMem = p.projMem[n:]
+	row := pa.mem[:n:n]
+	pa.mem = pa.mem[n:]
+	return row
+}
+
+func (p *compiledSelect) projectInto(ev *execEnv, tup tuple, aggs []Value) ([]Value, error) {
+	return p.projectWith(&p.projMem, ev, tup, aggs)
+}
+
+// projectWith evaluates the projection into a row carved from pa.
+func (p *compiledSelect) projectWith(pa *projAlloc, ev *execEnv, tup tuple, aggs []Value) ([]Value, error) {
+	ev.tup, ev.aggs = tup, aggs
+	row := pa.alloc(len(p.proj))
 	for i, pe := range p.proj {
 		v, err := pe(ev)
 		if err != nil {
@@ -683,6 +769,15 @@ func (p *compiledSelect) runGrouped() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.finishGrouped(order)
+}
+
+// finishGrouped runs the serial, order-sensitive tail of hash aggregation
+// over groups in first-seen order: finalize accumulators, HAVING, ORDER
+// BY, projection, DISTINCT, LIMIT. Shared by the serial fold above and the
+// parallel merge (parallel.go).
+func (p *compiledSelect) finishGrouped(order []*cgroup) (*Result, error) {
+	ev := &execEnv{params: p.params}
 
 	// Aggregates over zero rows with no GROUP BY yield one group.
 	if len(order) == 0 && len(p.s.GroupBy) == 0 {
@@ -853,12 +948,28 @@ func (a *cAvgAcc) final() (Value, error) {
 	return Int(a.sum / a.n), nil
 }
 
+// aggCompareError wraps a MIN/MAX running-best comparison failure. The
+// message (and so the user-visible error) is exactly the underlying
+// Compare error; the distinct type lets the parallel executor recognize
+// that the error depends on cross-row state (which value happens to be the
+// running best) and rerun the statement serially for the exact serial
+// outcome (parallel.go).
+type aggCompareError struct{ err error }
+
+func (e *aggCompareError) Error() string { return e.err.Error() }
+func (e *aggCompareError) Unwrap() error { return e.err }
+
 type cMinMaxAcc struct {
 	arg  compiledExpr
 	slot colSlot
 	min  bool
 	best Value
 	any  bool
+	// kinds is a bitmask of the non-NULL value kinds folded in (1<<Kind).
+	// More than one bit set means the result of — and errors raised by —
+	// the running-best comparison depend on fold order, so partials with a
+	// multi-kind union cannot be merged (parallel.go falls back to serial).
+	kinds uint8
 }
 
 func (a *cMinMaxAcc) step(ev *execEnv) error {
@@ -869,6 +980,7 @@ func (a *cMinMaxAcc) step(ev *execEnv) error {
 	if v.IsNull() {
 		return nil
 	}
+	a.kinds |= 1 << uint(v.Kind)
 	if !a.any {
 		a.best = v
 		a.any = true
@@ -876,7 +988,7 @@ func (a *cMinMaxAcc) step(ev *execEnv) error {
 	}
 	c, err := v.Compare(a.best)
 	if err != nil {
-		return err
+		return &aggCompareError{err}
 	}
 	if (a.min && c < 0) || (!a.min && c > 0) {
 		a.best = v

@@ -187,12 +187,25 @@ func (t *Table) RowCount() int { return t.live }
 
 // addIndex builds a hash index over an existing column.
 func (t *Table) addIndex(column string, unique bool) error {
-	pos := t.ColumnIndex(column)
-	if pos < 0 {
-		return fmt.Errorf("sqldb: no column %s.%s to index", t.Name, column)
-	}
 	if _, ok := t.indexes[column]; ok {
 		return nil // idempotent
+	}
+	idx, err := t.buildHashIndex(column, unique)
+	if err != nil {
+		return err
+	}
+	t.indexes[column] = idx
+	return nil
+}
+
+// buildHashIndex scans the table into a new, uninstalled hash index. The
+// build phase is side-effect free on the table, so several indexes can
+// build concurrently (BuildIndexesParallel) before being installed under
+// the write lock.
+func (t *Table) buildHashIndex(column string, unique bool) (*hashIndex, error) {
+	pos := t.ColumnIndex(column)
+	if pos < 0 {
+		return nil, fmt.Errorf("sqldb: no column %s.%s to index", t.Name, column)
 	}
 	idx := &hashIndex{column: column, pos: pos, unique: unique, m: make(map[string][]int)}
 	var dup error
@@ -206,28 +219,36 @@ func (t *Table) addIndex(column string, unique bool) error {
 		return true
 	})
 	if dup != nil {
-		return dup
+		return nil, dup
 	}
-	t.indexes[column] = idx
-	return nil
+	return idx, nil
 }
 
 // addOrdIndex builds an ordered (range) index over an existing column.
 func (t *Table) addOrdIndex(column string) error {
-	pos := t.ColumnIndex(column)
-	if pos < 0 {
-		return fmt.Errorf("sqldb: no column %s.%s to index", t.Name, column)
-	}
 	if _, ok := t.ordIndexes[column]; ok {
 		return nil // idempotent
+	}
+	ix, err := t.buildOrdIndex(column)
+	if err != nil {
+		return err
+	}
+	t.ordIndexes[column] = ix
+	return nil
+}
+
+// buildOrdIndex is the side-effect-free build phase of addOrdIndex.
+func (t *Table) buildOrdIndex(column string) (*ordIndex, error) {
+	pos := t.ColumnIndex(column)
+	if pos < 0 {
+		return nil, fmt.Errorf("sqldb: no column %s.%s to index", t.Name, column)
 	}
 	ix := newOrdIndex(column, pos)
 	t.scan(func(slot int, row []Value) bool {
 		ix.insert(row[pos], slot)
 		return true
 	})
-	t.ordIndexes[column] = ix
-	return nil
+	return ix, nil
 }
 
 // ordIndex returns the ordered index on column, or nil.

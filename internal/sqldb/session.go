@@ -347,10 +347,11 @@ func (txn *Txn) buildMerged(t *Table, tt *txnTable) (*Table, map[int]*txnRow) {
 // pieces (UDF registries) are aliased, not copied. Callers hold db.mu.
 func (txn *Txn) viewDB() *DB {
 	view := &DB{
-		tables:    make(map[string]*Table, len(txn.db.tables)),
-		udfs:      txn.db.udfs,
-		aggUDFs:   txn.db.aggUDFs,
-		noCompile: atomic.LoadInt32(&txn.db.noCompile),
+		tables:      make(map[string]*Table, len(txn.db.tables)),
+		udfs:        txn.db.udfs,
+		aggUDFs:     txn.db.aggUDFs,
+		noCompile:   atomic.LoadInt32(&txn.db.noCompile),
+		execWorkers: atomic.LoadInt32(&txn.db.execWorkers),
 	}
 	for name, t := range txn.db.tables {
 		if tt := txn.tables[name]; tt != nil && (len(tt.mods) > 0 || len(tt.ins) > 0) {
@@ -372,7 +373,13 @@ func (txn *Txn) execSelect(s *sqlparser.SelectStmt, params []Value) (*Result, er
 	defer db.trackBusy(time.Now())
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return txn.viewDB().execSelect(s, params)
+	view := txn.viewDB()
+	res, err := view.execSelect(s, params)
+	// The view is a throwaway copy, so planner and morsel counters landed
+	// on it; fold them into the shared database so transactional reads show
+	// up in PlanCounters / Stats like autocommit reads do.
+	db.absorbCounters(view)
+	return res, err
 }
 
 func (txn *Txn) execInsert(s *sqlparser.InsertStmt, params []Value) (*Result, error) {

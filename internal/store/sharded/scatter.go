@@ -332,9 +332,9 @@ type aggCol struct {
 // aggOut maps one output column of the original query onto merged columns.
 type aggOut struct {
 	name string
-	src  int      // merged column (plain value or combined aggregate)
-	sum  int      // avg: per-shard SUM column
-	cnt  int      // avg: per-shard COUNT column
+	src  int // merged column (plain value or combined aggregate)
+	sum  int // avg: per-shard SUM column
+	cnt  int // avg: per-shard COUNT column
 	avg  bool
 	post *postRef // expression over aggregates, evaluated post-merge
 }
@@ -881,8 +881,10 @@ func (c *Conn) gatherExec(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqldb
 	e := c.eng
 	tmp := sqldb.New()
 	// Inherit the compiled-exec setting so an interpreted configuration
-	// stays interpreted through the fallback too.
+	// stays interpreted through the fallback too, and the worker setting
+	// so the final join/aggregate runs morsel-parallel like any shard.
 	tmp.SetCompiledExec(e.shards[0].CompiledExecEnabled())
+	tmp.SetExecWorkers(e.shards[0].ExecWorkers())
 	e.udfMu.RLock()
 	for name, fn := range e.udfs {
 		tmp.RegisterUDF(name, fn)
@@ -936,21 +938,18 @@ func (c *Conn) gatherExec(s *sqlparser.SelectStmt, params []sqldb.Value) (*sqldb
 			}
 		}
 		// Recreate the shard tables' indexes (after the bulk load, so they
-		// build in one pass): a central join or grouped scan over the
-		// gathered copy probes and prunes the same way it would per shard,
-		// instead of degrading to nested loops. Uniqueness is still not
-		// re-checked, per the note above.
+		// build in one pass, and in parallel across indexes — each build
+		// is an independent table scan): a central join or grouped scan
+		// over the gathered copy probes and prunes the same way it would
+		// per shard, instead of degrading to nested loops. Uniqueness is
+		// still not re-checked, per the note above.
 		if t := e.shards[0].Table(ref.Table); t != nil {
-			for _, ix := range t.Indexes() {
-				using := "HASH"
-				if ix.Ordered {
-					using = "BTREE"
-				}
-				ddl := fmt.Sprintf("CREATE INDEX gather_%s_%s ON %s (%s) USING %s",
-					ref.Table, ix.Column, ref.Table, ix.Column, using)
-				if _, err := tmp.ExecSQL(ddl); err != nil {
-					return nil, err
-				}
+			infos := t.Indexes()
+			for i := range infos {
+				infos[i].Unique = false
+			}
+			if err := tmp.BuildIndexesParallel(ref.Table, infos); err != nil {
+				return nil, err
 			}
 		}
 	}
